@@ -1,0 +1,13 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing.
+
+    The experiment drivers already perform one measured run per algorithm and
+    workload, so repeating them under the benchmark's default calibration
+    would multiply multi-second workloads for no additional information.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,86 @@
+"""Micro-benchmarks of the individual building blocks.
+
+These benches are not tied to a specific table of the paper; they track the
+cost of the substrates the enumeration relies on (degeneracy ordering, seed
+subgraph construction, the upper-bound computation and the pair matrix), so
+regressions in any of them are visible independently of the end-to-end
+tables.
+"""
+
+from repro.core import EnumerationConfig, build_seed_context, iter_seed_contexts
+from repro.core.bounds import support_bound
+from repro.core.pruning import build_pair_matrix
+from repro.core.seeds import iter_subtasks
+from repro.core.stats import SearchStatistics
+from repro.datasets import load_dataset
+from repro.graph.core_decomposition import core_decomposition, shrink_to_core
+
+
+def _first_context(graph, k, q):
+    config = EnumerationConfig.ours()
+    core, _ = shrink_to_core(graph, q - k)
+    stats = SearchStatistics()
+    for _seed, context in iter_seed_contexts(core, k, q, config, stats):
+        if context is not None and context.candidate_mask.bit_count() >= 6:
+            return context
+    raise AssertionError("no usable seed context found")
+
+
+def test_bench_degeneracy_ordering(benchmark):
+    graph = load_dataset("enwiki-2021")
+    result = benchmark(core_decomposition, graph)
+    assert len(result.order) == graph.num_vertices
+
+
+def test_bench_seed_context_construction(benchmark):
+    graph = load_dataset("soc-epinions")
+    config = EnumerationConfig.ours()
+    core, _ = shrink_to_core(graph, 8 - 2)
+    decomposition = core_decomposition(core)
+    position = decomposition.position()
+    seed = decomposition.order[0]
+
+    def build():
+        return build_seed_context(core, position, seed, 2, 8, config, SearchStatistics())
+
+    benchmark(build)
+
+
+def test_bench_subtask_enumeration(benchmark):
+    graph = load_dataset("soc-epinions")
+    context = _first_context(graph, 3, 8)
+
+    def enumerate_tasks():
+        return sum(1 for _ in iter_subtasks(context, 3, 8, EnumerationConfig.ours(), SearchStatistics()))
+
+    count = benchmark(enumerate_tasks)
+    assert count >= 1
+
+
+def test_bench_support_upper_bound(benchmark):
+    graph = load_dataset("soc-epinions")
+    context = _first_context(graph, 2, 8)
+    pivot = (context.candidate_mask & -context.candidate_mask).bit_length() - 1
+    p_mask = 1 << context.seed_local
+    c_mask = context.candidate_mask
+
+    value = benchmark(support_bound, context.subgraph, p_mask, c_mask, pivot, 2)
+    assert value >= 1
+
+
+def test_bench_pair_matrix(benchmark):
+    graph = load_dataset("soc-epinions")
+    context = _first_context(graph, 2, 8)
+
+    def build():
+        return build_pair_matrix(
+            context.subgraph,
+            context.seed_local,
+            context.candidate_mask,
+            context.two_hop_mask,
+            2,
+            8,
+        )
+
+    rows = benchmark(build)
+    assert len(rows) == context.subgraph.size

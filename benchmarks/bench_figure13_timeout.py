@@ -1,0 +1,23 @@
+"""Figure 13 — effect of the straggler timeout τ_time on the parallel runtime.
+
+The paper sweeps τ from 1e-3 ms to 1e2 ms and finds a shallow optimum: very
+small values pay task-materialisation overhead, very large values (and the
+no-timeout limit, i.e. ListPlex-style scheduling) suffer from stragglers.
+"""
+
+from repro.analysis.reporting import render_series
+from repro.experiments import figure13_timeout
+
+from _bench_utils import run_once
+
+
+def test_figure13_timeout(benchmark, scale):
+    series = run_once(benchmark, figure13_timeout, scale)
+    assert series
+    for name, curve in series.items():
+        finite = {tau: value for tau, value in curve.items() if tau != "inf"}
+        best = min(finite.values())
+        # The best finite timeout is never worse than disabling the timeout.
+        assert best <= curve["inf"] * 1.001, name
+    print()
+    print(render_series(series, x_label="timeout (cost units)", title="Figure 13 — timeout sweep"))

@@ -1,0 +1,28 @@
+"""Figures 7 / 14 — sequential running time of FP, ListPlex and Ours as q varies.
+
+The paper's observation: Ours is the fastest for every q, and the gap widens
+as q shrinks (more sub-tasks, so the pruning techniques matter more).  With
+``REPRO_BENCH_SCALE=full`` the sweep covers the additional datasets of the
+appendix Figure 14.
+"""
+
+from repro.analysis.reporting import render_series
+from repro.experiments import figure7_vary_q
+
+from _bench_utils import run_once
+
+
+def test_figure7_vary_q(benchmark, scale):
+    figures = run_once(benchmark, figure7_vary_q, scale)
+    assert figures
+    print()
+    for name, series in figures.items():
+        # Every algorithm was run on every q of the sweep.
+        lengths = {algorithm: len(points) for algorithm, points in series.items()}
+        assert len(set(lengths.values())) == 1
+        # Shape: summed over the sweep, Ours is not slower than the baselines.
+        totals = {algorithm: sum(points.values()) for algorithm, points in series.items()}
+        assert totals["Ours"] <= totals["ListPlex"] * 1.05
+        assert totals["Ours"] <= totals["FP"] * 1.05
+        print(render_series(series, x_label="q", title=f"Figure 7 — {name} (seconds)"))
+        print()

@@ -1,0 +1,25 @@
+"""Figure 8 — speedup ratio of the parallel algorithm with 2/4/8/16 workers.
+
+The paper reports a nearly ideal speedup on all five large graphs (e.g.
+15.82x with 16 threads on it-2004).  The reproduction schedules the measured
+per-task costs on the deterministic stage scheduler with work stealing and
+the timeout mechanism enabled.
+"""
+
+from repro.analysis.reporting import render_series
+from repro.experiments import figure8_speedup
+
+from _bench_utils import run_once
+
+
+def test_figure8_speedup(benchmark, scale):
+    series = run_once(benchmark, figure8_speedup, scale)
+    assert series
+    for name, curve in series.items():
+        # Speedup is monotone in the worker count and reasonably close to
+        # ideal at 16 workers (the paper reports ~15-16x; we require > 10x).
+        assert curve[1] == 1.0
+        assert curve[2] <= curve[4] <= curve[8] <= curve[16]
+        assert curve[16] > 10.0, f"{name}: poor simulated scalability {curve[16]}"
+    print()
+    print(render_series(series, x_label="workers", title="Figure 8 — speedup ratio (simulated)"))

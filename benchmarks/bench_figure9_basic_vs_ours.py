@@ -1,0 +1,21 @@
+"""Figures 9 / 15 — Basic vs Ours as q varies.
+
+``Basic`` disables pruning rules R1 and R2; the paper shows Ours consistently
+below Basic across the whole q sweep, with the largest gaps at small q.
+"""
+
+from repro.analysis.reporting import render_series
+from repro.experiments import figure9_basic_vs_ours
+
+from _bench_utils import run_once
+
+
+def test_figure9_basic_vs_ours(benchmark, scale):
+    figures = run_once(benchmark, figure9_basic_vs_ours, scale)
+    assert figures
+    print()
+    for name, series in figures.items():
+        totals = {algorithm: sum(points.values()) for algorithm, points in series.items()}
+        assert totals["Ours"] <= totals["Basic"] * 1.05
+        print(render_series(series, x_label="q", title=f"Figure 9 — {name} (seconds)"))
+        print()

@@ -1,0 +1,14 @@
+"""Table 2 — dataset statistics (paper values vs surrogate values)."""
+
+from repro.analysis.reporting import render_table
+from repro.experiments import table2_datasets
+
+from _bench_utils import run_once
+
+
+def test_table2_datasets(benchmark, scale):
+    rows = run_once(benchmark, table2_datasets, scale)
+    assert rows, "the dataset registry must not be empty"
+    assert all(row["surrogate_n"] > 0 for row in rows)
+    print()
+    print(render_table(rows, title="Table 2 — datasets (paper vs surrogate)"))

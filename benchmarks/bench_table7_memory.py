@@ -1,0 +1,24 @@
+"""Table 7 (appendix B.2) — peak memory consumption of FP, ListPlex and Ours.
+
+The paper reports that ListPlex and Ours have very similar peak memory while
+FP needs noticeably more on medium graphs because it keeps larger candidate
+structures per seed (no sub-task decomposition).
+"""
+
+from repro.analysis.reporting import render_table
+from repro.experiments import table7_memory
+
+from _bench_utils import run_once
+
+
+def test_table7_memory(benchmark, scale):
+    rows = run_once(benchmark, table7_memory, scale)
+    assert rows
+    for row in rows:
+        assert row["Ours_peak_mib"] > 0
+        assert row["ListPlex_peak_mib"] > 0
+        assert row["FP_peak_mib"] > 0
+        # Ours never needs substantially more memory than ListPlex.
+        assert row["Ours_peak_mib"] <= row["ListPlex_peak_mib"] * 1.5 + 0.5
+    print()
+    print(render_table(rows, title="Table 7 — peak memory (MiB, tracemalloc)"))

@@ -1,0 +1,27 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench runs one experiment driver exactly once (``rounds=1``): the
+drivers already contain the repeated measurements that matter (one run per
+algorithm per workload), and the interesting output is the reproduced table
+or figure series, which each bench prints.
+
+Set ``REPRO_BENCH_SCALE=full`` to run the wider workloads (more datasets and
+more parameter points, matching the appendix figures).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    """Workload scale for all benches: ``quick`` (default) or ``full``."""
+    return os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

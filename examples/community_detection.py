@@ -1,0 +1,64 @@
+"""Community detection with k-plexes on a planted-partition social network.
+
+The paper motivates k-plexes as a noise-tolerant community model: real
+communities are rarely cliques because a few links are always missing.  This
+example plants communities with missing internal edges, shows that maximal
+*clique* enumeration (k = 1) shatters them, and that 2-plex / 3-plex
+enumeration recovers each planted community as a single cohesive subgraph.
+
+Run with::
+
+    python examples/community_detection.py
+"""
+
+from collections import Counter
+
+from repro import enumerate_maximal_kplexes
+from repro.analysis import jaccard_similarity, size_histogram
+from repro.graph.generators import planted_partition
+
+
+def planted_communities(num_communities: int, size: int):
+    """Ground-truth communities of the planted-partition graph."""
+    return [
+        frozenset(range(community * size, (community + 1) * size))
+        for community in range(num_communities)
+    ]
+
+
+def best_recovery(results, community):
+    """Best Jaccard overlap between a planted community and any mined k-plex."""
+    best = 0.0
+    for plex in results:
+        best = max(best, jaccard_similarity(plex.as_set(), community))
+    return best
+
+
+def main() -> None:
+    num_communities, size = 6, 9
+    graph = planted_partition(num_communities, size, p_in=0.9, p_out=0.015, seed=42)
+    communities = planted_communities(num_communities, size)
+    print(f"Planted-partition graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
+    print(f"Ground truth: {num_communities} communities of {size} vertices\n")
+
+    for k in (1, 2, 3):
+        q = max(2 * k - 1, 6)
+        results = enumerate_maximal_kplexes(graph, k=k, q=q)
+        recoveries = [best_recovery(results, community) for community in communities]
+        histogram = size_histogram(results)
+        recovered = sum(1 for score in recoveries if score >= 0.9)
+        print(f"k={k}, q={q}: {len(results)} maximal k-plexes, sizes {dict(histogram)}")
+        print(
+            f"  communities recovered with >=90% overlap: {recovered}/{num_communities} "
+            f"(mean best overlap {sum(recoveries) / len(recoveries):.2f})"
+        )
+
+    print(
+        "\nCliques (k=1) fragment the noisy communities; relaxing to 2- and 3-plexes "
+        "recovers far more of the planted communities as single cohesive subgraphs — "
+        "the motivation for mining k-plexes in the first place."
+    )
+
+
+if __name__ == "__main__":
+    main()

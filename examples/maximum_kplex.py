@@ -1,0 +1,38 @@
+"""Finding a maximum k-plex (extension built on top of the enumerator).
+
+The paper's related work covers maximum k-plex solvers (BS, BnB, KpLeX,
+kPlexS, Maplex); this repository includes a simple exact maximum k-plex
+search as an extension: binary search over the size threshold ``q`` using the
+enumerator as a feasibility oracle.  The example reports the maximum k-plex
+of a few bundled datasets for k = 1, 2, 3 and shows how the size grows with
+the relaxation k.
+
+Run with::
+
+    python examples/maximum_kplex.py
+"""
+
+from repro.baselines import find_maximum_kplex
+from repro.datasets import load_dataset
+
+
+def main() -> None:
+    for dataset in ("jazz", "wiki-vote", "as-caida"):
+        graph = load_dataset(dataset)
+        print(f"{dataset}: {graph.num_vertices} vertices, {graph.num_edges} edges")
+        for k in (1, 2, 3):
+            plex = find_maximum_kplex(graph, k)
+            if plex is None:
+                print(f"  k={k}: no k-plex with at least {2 * k - 1} vertices")
+                continue
+            members = ", ".join(str(label) for label in plex.labels[:12])
+            suffix = "..." if plex.size > 12 else ""
+            print(f"  k={k}: maximum k-plex has {plex.size} vertices  [{members}{suffix}]")
+        print()
+
+    print("As k grows the maximum k-plex strictly grows or stays equal: every k-plex "
+          "is also a (k+1)-plex, which is the containment the relaxation is built on.")
+
+
+if __name__ == "__main__":
+    main()

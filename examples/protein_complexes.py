@@ -1,0 +1,60 @@
+"""Finding protein-complex-like modules in a noisy interaction network.
+
+Protein–protein interaction (PPI) data is notoriously noisy: experimentally
+measured complexes miss interactions (false negatives) and contain spurious
+ones.  The paper cites complex detection as a key application of k-plex
+mining.  This example builds a synthetic PPI-style network with planted
+complexes whose interaction lists are incomplete, mines maximal 2-plexes of
+at least 6 proteins, and ranks the found modules by density — the typical
+post-processing pipeline of a biological network analysis.
+
+Run with::
+
+    python examples/protein_complexes.py
+"""
+
+from repro import KPlexEnumerator
+from repro.analysis import cohesion_metrics, coverage, rank_by_density
+from repro.graph.generators import planted_kplex
+
+
+def main() -> None:
+    # 80 proteins; four planted complexes of 8 proteins each where every
+    # protein may miss up to one interaction inside its complex (k = 2),
+    # embedded in a sparse background of spurious interactions.
+    graph = planted_kplex(
+        num_vertices=80,
+        background_probability=0.05,
+        plex_size=8,
+        k=2,
+        num_plexes=4,
+        seed=7,
+    )
+    print(f"Synthetic PPI network: {graph.num_vertices} proteins, {graph.num_edges} interactions")
+
+    k, q = 2, 6
+    enumerator = KPlexEnumerator(graph, k=k, q=q)
+    result = enumerator.run()
+    print(f"Candidate complexes (maximal {k}-plexes, >= {q} proteins): {result.count}")
+    print(f"Fraction of proteins covered by at least one candidate: "
+          f"{coverage(graph, result.kplexes):.2f}\n")
+
+    print("Top candidate complexes by internal density:")
+    for plex, metrics in rank_by_density(graph, result.kplexes, top=6):
+        members = ", ".join(f"P{v:02d}" for v in plex.vertices)
+        print(
+            f"  size={metrics.size} density={metrics.density:.2f} "
+            f"min_internal_degree={metrics.minimum_internal_degree} "
+            f"boundary_ratio={metrics.boundary_ratio:.2f}  [{members}]"
+        )
+
+    planted = [set(range(i * 8, (i + 1) * 8)) for i in range(4)]
+    hits = 0
+    for complex_members in planted:
+        if any(complex_members <= set(plex.vertices) for plex in result.kplexes):
+            hits += 1
+    print(f"\nPlanted complexes fully contained in some candidate: {hits}/4")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quickstart: enumerate large maximal k-plexes of a small graph.
+
+Run with::
+
+    python examples/quickstart.py
+
+The example builds a small social-style graph, enumerates all maximal
+2-plexes with at least 5 vertices, verifies them, and prints them together
+with the search statistics — the 60-second tour of the public API.
+"""
+
+from repro import Graph, KPlexEnumerator
+from repro.analysis import cohesion_metrics, verify_results
+
+
+def build_example_graph() -> Graph:
+    """A toy collaboration network: two tight groups sharing two members."""
+    edges = [
+        # Group A: {alice, bob, carol, dave, erin} — almost a clique.
+        ("alice", "bob"),
+        ("alice", "carol"),
+        ("alice", "dave"),
+        ("alice", "erin"),
+        ("bob", "carol"),
+        ("bob", "dave"),
+        ("carol", "dave"),
+        ("carol", "erin"),
+        ("dave", "erin"),
+        # Group B: {erin, frank, grace, heidi, ivan} — also missing a few links.
+        ("erin", "frank"),
+        ("erin", "grace"),
+        ("frank", "grace"),
+        ("frank", "heidi"),
+        ("frank", "ivan"),
+        ("grace", "heidi"),
+        ("grace", "ivan"),
+        ("heidi", "ivan"),
+        # A couple of stray acquaintances.
+        ("bob", "frank"),
+        ("dave", "ivan"),
+    ]
+    return Graph.from_edges(edges)
+
+
+def main() -> None:
+    graph = build_example_graph()
+    k, q = 2, 5
+
+    enumerator = KPlexEnumerator(graph, k=k, q=q)
+    result = enumerator.run()
+
+    print(f"Graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
+    print(f"Maximal {k}-plexes with at least {q} vertices: {result.count}")
+    for plex in result:
+        metrics = cohesion_metrics(graph, plex.vertices)
+        members = ", ".join(str(label) for label in plex.labels)
+        print(f"  size={plex.size} density={metrics.density:.2f}  [{members}]")
+
+    report = verify_results(graph, result.kplexes, k, q)
+    print(f"Verification: {report.summary()}")
+    print(f"Search statistics: {result.statistics}")
+
+
+if __name__ == "__main__":
+    main()

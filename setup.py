@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that editable installs work on minimal environments where the ``wheel``
+package (needed for PEP 660 editable wheels) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,66 @@
+"""repro — Efficient Enumeration of Large Maximal k-Plexes (EDBT 2025 reproduction).
+
+Public API
+----------
+The most common entry points are re-exported at the package root:
+
+* :class:`repro.Graph` — the undirected simple graph type.
+* :func:`repro.enumerate_maximal_kplexes` — run the paper's algorithm (``Ours``).
+* :func:`repro.count_maximal_kplexes` — count results without materialising them.
+* :class:`repro.KPlexEnumerator` — configurable enumerator (ablation variants,
+  baselines, statistics).
+* :class:`repro.EnumerationConfig` — the knobs corresponding to the paper's
+  pruning techniques and algorithm variants.
+* :func:`repro.parallel_enumerate_maximal_kplexes` — task-parallel version
+  (Section 6 of the paper).
+
+Quick start
+-----------
+>>> from repro import Graph, enumerate_maximal_kplexes
+>>> graph = Graph.from_edges([(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+>>> plexes = enumerate_maximal_kplexes(graph, k=2, q=3)
+>>> sorted(sorted(p.vertices) for p in plexes)
+[[0, 1, 2, 3]]
+"""
+
+from .core import (
+    EnumerationConfig,
+    EnumerationResult,
+    KPlex,
+    KPlexEnumerator,
+    SearchStatistics,
+    best_community_for,
+    count_maximal_kplexes,
+    enumerate_kplexes_containing,
+    enumerate_maximal_kplexes,
+    is_kplex,
+    is_maximal_kplex,
+)
+from .errors import DatasetError, FormatError, GraphError, ParameterError, ReproError
+from .graph import Graph
+from .parallel import ParallelConfig, parallel_enumerate_maximal_kplexes
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "KPlex",
+    "KPlexEnumerator",
+    "EnumerationConfig",
+    "EnumerationResult",
+    "SearchStatistics",
+    "enumerate_maximal_kplexes",
+    "count_maximal_kplexes",
+    "enumerate_kplexes_containing",
+    "best_community_for",
+    "is_kplex",
+    "is_maximal_kplex",
+    "ParallelConfig",
+    "parallel_enumerate_maximal_kplexes",
+    "ReproError",
+    "GraphError",
+    "ParameterError",
+    "DatasetError",
+    "FormatError",
+    "__version__",
+]

@@ -1,0 +1,51 @@
+"""Result verification, cohesion metrics and report rendering."""
+
+from .export import (
+    FORMAT_CSV,
+    FORMAT_JSONL,
+    FORMAT_TEXT,
+    read_result_sets,
+    write_results,
+)
+from .metrics import (
+    CohesionMetrics,
+    cohesion_metrics,
+    coverage,
+    jaccard_similarity,
+    overlap_matrix,
+    rank_by_density,
+    size_histogram,
+)
+from .reporting import format_value, print_report, render_ratio_row, render_series, render_table
+from .verification import (
+    VerificationReport,
+    compare_algorithm_outputs,
+    diameter_within_bound,
+    results_as_sets,
+    verify_results,
+)
+
+__all__ = [
+    "write_results",
+    "read_result_sets",
+    "FORMAT_TEXT",
+    "FORMAT_CSV",
+    "FORMAT_JSONL",
+    "VerificationReport",
+    "verify_results",
+    "results_as_sets",
+    "compare_algorithm_outputs",
+    "diameter_within_bound",
+    "CohesionMetrics",
+    "cohesion_metrics",
+    "rank_by_density",
+    "jaccard_similarity",
+    "overlap_matrix",
+    "coverage",
+    "size_histogram",
+    "render_table",
+    "render_series",
+    "render_ratio_row",
+    "format_value",
+    "print_report",
+]

@@ -1,0 +1,123 @@
+"""Exporting and re-importing enumeration results.
+
+Downstream pipelines (community labelling, biological enrichment analysis)
+rarely consume Python objects directly, so the library can write results to
+the three formats k-plex tools commonly exchange:
+
+* **plain text** — one k-plex per line, members separated by spaces (the
+  format used by the released ListPlex / kPlexS binaries);
+* **CSV** — one row per k-plex with id, size and the member list;
+* **JSON lines** — one JSON object per k-plex, keeping the original labels.
+
+The matching readers load files back into plain vertex-set form so exported
+results can be diffed and verified (``verify_results``) in a later session.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Hashable, List, Sequence, Tuple, Union
+
+from ..core.kplex import KPlex
+from ..errors import FormatError
+
+PathLike = Union[str, Path]
+
+FORMAT_TEXT = "text"
+FORMAT_CSV = "csv"
+FORMAT_JSONL = "jsonl"
+_KNOWN_FORMATS = (FORMAT_TEXT, FORMAT_CSV, FORMAT_JSONL)
+
+
+def _detect_format(path: PathLike, fmt: str) -> str:
+    if fmt != "auto":
+        if fmt not in _KNOWN_FORMATS:
+            raise FormatError(f"unknown result format {fmt!r}; expected one of {_KNOWN_FORMATS}")
+        return fmt
+    suffix = Path(path).suffix.lower()
+    if suffix == ".csv":
+        return FORMAT_CSV
+    if suffix in (".jsonl", ".json"):
+        return FORMAT_JSONL
+    return FORMAT_TEXT
+
+
+def write_results(
+    results: Sequence[KPlex],
+    path: PathLike,
+    fmt: str = "auto",
+    use_labels: bool = True,
+) -> str:
+    """Write ``results`` to ``path``; returns the format actually used.
+
+    ``use_labels`` selects between the caller-facing labels (default) and the
+    internal vertex ids.
+    """
+    chosen = _detect_format(path, fmt)
+    path = Path(path)
+    if chosen == FORMAT_TEXT:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(f"# {len(results)} maximal k-plexes\n")
+            for plex in results:
+                members = plex.labels if use_labels else plex.vertices
+                handle.write(" ".join(str(member) for member in members) + "\n")
+    elif chosen == FORMAT_CSV:
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["id", "size", "k", "members"])
+            for index, plex in enumerate(results):
+                members = plex.labels if use_labels else plex.vertices
+                writer.writerow(
+                    [index, plex.size, plex.k, " ".join(str(member) for member in members)]
+                )
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            for index, plex in enumerate(results):
+                payload = {
+                    "id": index,
+                    "size": plex.size,
+                    "k": plex.k,
+                    "vertices": list(plex.vertices),
+                    "labels": [str(label) for label in plex.labels],
+                }
+                handle.write(json.dumps(payload) + "\n")
+    return chosen
+
+
+def read_result_sets(path: PathLike, fmt: str = "auto") -> List[Tuple[Hashable, ...]]:
+    """Read exported results back as tuples of member identifiers.
+
+    Text and CSV files yield the identifiers as strings (the formats are not
+    typed); JSON-lines files yield the stored internal vertex ids.
+    """
+    chosen = _detect_format(path, fmt)
+    path = Path(path)
+    members: List[Tuple[Hashable, ...]] = []
+    if chosen == FORMAT_TEXT:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                members.append(tuple(line.split()))
+    elif chosen == FORMAT_CSV:
+        with open(path, "r", encoding="utf-8", newline="") as handle:
+            reader = csv.DictReader(handle)
+            if reader.fieldnames is None or "members" not in reader.fieldnames:
+                raise FormatError(f"{path} is not a k-plex result CSV (missing 'members' column)")
+            for row in reader:
+                members.append(tuple(row["members"].split()))
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise FormatError(f"{path}:{line_number}: invalid JSON") from exc
+                members.append(tuple(payload["vertices"]))
+    return members

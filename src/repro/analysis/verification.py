@@ -1,0 +1,122 @@
+"""Verification of enumeration results.
+
+These helpers are how the repository convinces itself (and its users) that an
+enumeration run is correct: every reported set must be a k-plex, maximal, at
+least ``q`` vertices large, unique, and — when several algorithms are run on
+the same input — all algorithms must report exactly the same family of vertex
+sets, which is the consistency check the paper performs between Ours,
+ListPlex and FP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set
+
+from ..core.kplex import KPlex, is_kplex, is_maximal_kplex
+from ..graph import Graph
+from ..graph.properties import is_connected_subset, subset_diameter
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of :func:`verify_results`."""
+
+    total: int
+    invalid_kplexes: List[FrozenSet[int]] = field(default_factory=list)
+    non_maximal: List[FrozenSet[int]] = field(default_factory=list)
+    too_small: List[FrozenSet[int]] = field(default_factory=list)
+    duplicates: List[FrozenSet[int]] = field(default_factory=list)
+    disconnected: List[FrozenSet[int]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every check passed."""
+        return not (
+            self.invalid_kplexes
+            or self.non_maximal
+            or self.too_small
+            or self.duplicates
+            or self.disconnected
+        )
+
+    def summary(self) -> str:
+        """One-line human readable summary."""
+        if self.ok:
+            return f"{self.total} results verified: all maximal k-plexes of the required size"
+        return (
+            f"{self.total} results, "
+            f"{len(self.invalid_kplexes)} not k-plexes, "
+            f"{len(self.non_maximal)} not maximal, "
+            f"{len(self.too_small)} below the size threshold, "
+            f"{len(self.duplicates)} duplicated, "
+            f"{len(self.disconnected)} disconnected"
+        )
+
+
+def verify_results(
+    graph: Graph,
+    results: Sequence[KPlex],
+    k: int,
+    q: int,
+    check_connectivity: bool = True,
+) -> VerificationReport:
+    """Check that ``results`` are valid, maximal, large-enough, unique k-plexes."""
+    report = VerificationReport(total=len(results))
+    seen: Set[FrozenSet[int]] = set()
+    for plex in results:
+        members = plex.as_set()
+        if members in seen:
+            report.duplicates.append(members)
+            continue
+        seen.add(members)
+        if not is_kplex(graph, members, k):
+            report.invalid_kplexes.append(members)
+            continue
+        if len(members) < q:
+            report.too_small.append(members)
+        if not is_maximal_kplex(graph, members, k):
+            report.non_maximal.append(members)
+        if check_connectivity and len(members) >= 2 * k - 1:
+            if not is_connected_subset(graph, members):
+                report.disconnected.append(members)
+    return report
+
+
+def results_as_sets(results: Iterable[KPlex]) -> Set[FrozenSet[int]]:
+    """Convert result records into a set of frozensets of vertex ids."""
+    return {plex.as_set() for plex in results}
+
+
+def compare_algorithm_outputs(
+    outputs: Dict[str, Iterable[KPlex]],
+) -> Dict[str, Set[FrozenSet[int]]]:
+    """Return the per-algorithm result families that *disagree* with the others.
+
+    The returned dictionary is empty when all algorithms produced exactly the
+    same family of vertex sets (the paper's cross-check); otherwise it maps
+    each algorithm name to the symmetric difference between its output and
+    the union of all outputs, which pinpoints what it missed or invented.
+    """
+    families = {name: results_as_sets(results) for name, results in outputs.items()}
+    if not families:
+        return {}
+    reference: Set[FrozenSet[int]] = set()
+    for family in families.values():
+        reference |= family
+    disagreements = {
+        name: family ^ reference for name, family in families.items() if family != reference
+    }
+    return disagreements
+
+
+def diameter_within_bound(graph: Graph, results: Sequence[KPlex], k: int) -> bool:
+    """Check Theorem 3.3 on actual results: plexes with ``>= 2k-1`` members have diameter <= 2."""
+    for plex in results:
+        members = plex.as_set()
+        if len(members) >= 2 * k - 1 and len(members) > 1:
+            if not is_connected_subset(graph, members):
+                return False
+            if subset_diameter(graph, members) > 2:
+                return False
+    return True

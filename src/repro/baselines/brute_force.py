@@ -1,0 +1,60 @@
+"""Brute-force maximal k-plex enumeration — the test oracle.
+
+This module enumerates maximal k-plexes by exhaustively examining vertex
+subsets.  It is exponential in the number of vertices and only intended for
+tiny graphs (roughly ``n <= 18``), where it serves as the ground truth the
+optimised algorithms are cross-checked against in the test-suite.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, List, Set
+
+from ..errors import ParameterError
+from ..graph import Graph
+from ..core.kplex import KPlex, can_extend, is_kplex
+
+MAX_BRUTE_FORCE_VERTICES = 22
+
+
+def brute_force_maximal_kplexes(graph: Graph, k: int, q: int) -> List[KPlex]:
+    """Enumerate every maximal k-plex with at least ``q`` vertices by exhaustion.
+
+    The subsets are generated from largest to smallest so maximality can be
+    decided with the single-vertex extension test (hereditary property).
+    """
+    if graph.num_vertices > MAX_BRUTE_FORCE_VERTICES:
+        raise ParameterError(
+            f"brute force oracle refuses graphs with more than "
+            f"{MAX_BRUTE_FORCE_VERTICES} vertices (got {graph.num_vertices})"
+        )
+    if k < 1 or q < 1:
+        raise ParameterError("k and q must be positive")
+
+    vertices = list(graph.vertices())
+    results: List[FrozenSet[int]] = []
+    for size in range(len(vertices), max(q, 1) - 1, -1):
+        for subset in combinations(vertices, size):
+            members = frozenset(subset)
+            if not is_kplex(graph, members, k):
+                continue
+            if _has_extension(graph, members, k):
+                continue
+            results.append(members)
+    return [KPlex.from_vertices(graph, members, k) for members in sorted(results, key=sorted)]
+
+
+def _has_extension(graph: Graph, members: FrozenSet[int], k: int) -> bool:
+    """Return ``True`` if some vertex outside ``members`` keeps it a k-plex."""
+    for candidate in graph.vertices():
+        if candidate in members:
+            continue
+        if can_extend(graph, members, candidate, k):
+            return True
+    return False
+
+
+def brute_force_vertex_sets(graph: Graph, k: int, q: int) -> Set[FrozenSet[int]]:
+    """Return the oracle results as a set of frozensets (convenient for tests)."""
+    return {plex.as_set() for plex in brute_force_maximal_kplexes(graph, k, q)}

@@ -1,0 +1,173 @@
+"""FP-style baseline.
+
+FP (Dai et al., CIKM 2022) also mines seed subgraphs in degeneracy order but,
+unlike ListPlex and the paper's algorithm, it does **not** split a seed's
+work into sub-tasks over the seed's two-hop non-neighbours: the whole two-hop
+neighbourhood forms a single candidate set.  Its branch pruning relies on an
+upper bound whose computation requires sorting the candidate set in every
+recursion (Lemma 5 of the FP paper), which the paper identifies as its main
+per-node overhead.
+
+The re-implementation below reuses the shared branch-and-bound engine with
+
+* a single sub-task per seed whose candidate set is the full two-hop
+  neighbourhood (no ``S`` enumeration),
+* the sorting-based upper bound (``upper_bound_method="fp"``),
+* no vertex-pair pruning and no Theorem 5.7 sub-task pruning.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import FrozenSet, List, Optional, Sequence, Set
+
+from ..core.branch import BranchSearcher
+from ..core.config import UPPER_BOUND_FP, EnumerationConfig
+from ..core.enumerator import EnumerationResult
+from ..core.kplex import KPlex, validate_parameters
+from ..core.pruning import corollary_52_keep
+from ..core.seeds import SeedContext, SubTask
+from ..core.stats import SearchStatistics
+from ..graph import Graph
+from ..graph.core_decomposition import core_decomposition, shrink_to_core
+from ..graph.dense import DenseSubgraph, external_adjacency_mask
+
+
+def fp_config() -> EnumerationConfig:
+    """Configuration matching the techniques used by the FP baseline."""
+    return EnumerationConfig(
+        use_upper_bound=True,
+        upper_bound_method=UPPER_BOUND_FP,
+        use_seed_upper_bound=False,
+        use_pair_pruning=False,
+        use_seed_pruning=True,
+    )
+
+
+def build_fp_seed_context(
+    graph: Graph,
+    order_position: Sequence[int],
+    seed_vertex: int,
+    k: int,
+    q: int,
+    use_seed_pruning: bool = True,
+    stats: Optional[SearchStatistics] = None,
+) -> Optional[SeedContext]:
+    """Build an FP-style seed context: one candidate set, no sub-task split."""
+    seed_position = order_position[seed_vertex]
+    neighbors = graph.neighbors(seed_vertex)
+    two_hops = graph.two_hop_neighbors(seed_vertex)
+    later = [
+        vertex for vertex in neighbors | two_hops if order_position[vertex] > seed_position
+    ]
+    candidate_vertices = set(later)
+    candidate_vertices.add(seed_vertex)
+    if len(candidate_vertices) < q:
+        if stats is not None:
+            stats.seeds_pruned_empty += 1
+        return None
+    if use_seed_pruning:
+        kept = corollary_52_keep(graph, seed_vertex, candidate_vertices, k, q)
+        if stats is not None:
+            stats.vertices_pruned_by_corollary += len(candidate_vertices) - len(kept)
+    else:
+        kept = set(candidate_vertices)
+    if len(kept) < q:
+        if stats is not None:
+            stats.seeds_pruned_empty += 1
+        return None
+
+    local_vertices = [seed_vertex] + sorted(kept - {seed_vertex})
+    subgraph = DenseSubgraph(graph, local_vertices)
+    candidate_mask = subgraph.full_mask & ~1  # everyone except the seed (index 0)
+    external_vertices = sorted(
+        vertex for vertex in neighbors | two_hops if order_position[vertex] < seed_position
+    )
+    external_adjacency = [
+        external_adjacency_mask(subgraph, vertex) for vertex in external_vertices
+    ]
+    degrees = [subgraph.degree(v) for v in range(subgraph.size)]
+    if stats is not None:
+        stats.record_seed(seed_vertex, subgraph.size)
+    return SeedContext(
+        seed_vertex=seed_vertex,
+        subgraph=subgraph,
+        seed_local=0,
+        candidate_mask=candidate_mask,
+        two_hop_mask=0,
+        external_vertices=external_vertices,
+        external_adjacency=external_adjacency,
+        degrees=degrees,
+        pair_ok=None,
+    )
+
+
+class FPLike:
+    """Baseline enumerator mirroring FP's search strategy."""
+
+    def __init__(self, graph: Graph, k: int, q: int) -> None:
+        validate_parameters(k, q)
+        self.graph = graph
+        self.k = k
+        self.q = q
+        self.config = fp_config()
+        self.statistics = SearchStatistics()
+        self._core_graph, self._core_map = shrink_to_core(graph, q - k)
+
+    def run(self) -> EnumerationResult:
+        """Enumerate all maximal k-plexes with at least ``q`` vertices."""
+        started = time.perf_counter()
+        results: List[KPlex] = []
+        core = self._core_graph
+        if core.num_vertices >= self.q:
+            decomposition = core_decomposition(core)
+            position = decomposition.position()
+            for seed_vertex in decomposition.order:
+                context = build_fp_seed_context(
+                    core, position, seed_vertex, self.k, self.q, stats=self.statistics
+                )
+                if context is None:
+                    continue
+                self.statistics.subtasks += 1
+                searcher = BranchSearcher(
+                    context,
+                    self.k,
+                    self.q,
+                    self.config,
+                    self.statistics,
+                    on_result=lambda mask, ctx=context: results.append(
+                        self._translate(ctx, mask)
+                    ),
+                )
+                searcher.run_subtask(
+                    SubTask(
+                        p_mask=1,
+                        c_mask=context.candidate_mask,
+                        x_mask=0,
+                        x_external_mask=(1 << len(context.external_vertices)) - 1,
+                    )
+                )
+        results.sort(key=lambda plex: (plex.size, plex.vertices))
+        self.statistics.elapsed_seconds = time.perf_counter() - started
+        return EnumerationResult(
+            kplexes=results,
+            statistics=self.statistics,
+            k=self.k,
+            q=self.q,
+            config=self.config,
+        )
+
+    def _translate(self, context: SeedContext, mask: int) -> KPlex:
+        core_vertices = context.subgraph.parents_of_mask(mask)
+        original = [self._core_map[v] for v in core_vertices]
+        return KPlex.from_vertices(self.graph, original, self.k)
+
+
+def fp_maximal_kplexes(graph: Graph, k: int, q: int) -> List[KPlex]:
+    """Functional wrapper returning the FP-style baseline results."""
+    return FPLike(graph, k, q).run().kplexes
+
+
+def fp_vertex_sets(graph: Graph, k: int, q: int) -> Set[FrozenSet[int]]:
+    """Return the baseline results as a set of frozensets (for tests)."""
+    return {plex.as_set() for plex in fp_maximal_kplexes(graph, k, q)}

@@ -1,0 +1,79 @@
+"""Maximum k-plex search (extension of the enumeration machinery).
+
+The paper focuses on enumerating *all* large maximal k-plexes, but the
+related-work section discusses the maximum k-plex problem at length.  As an
+extension this module finds one maximum k-plex by a monotone search over the
+size threshold ``q``: a k-plex of size at least ``q`` exists if and only if
+the enumerator reports at least one result for that ``q``, and feasibility is
+monotone decreasing in ``q``, so a binary search over ``q`` locates the
+maximum size.  Each feasibility probe stops at the first result found, so the
+probe cost is far below a full enumeration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.config import EnumerationConfig
+from ..core.enumerator import KPlexEnumerator
+from ..core.kplex import KPlex, validate_parameters
+from ..graph import Graph
+from ..graph.core_decomposition import degeneracy
+
+
+def _first_result(graph: Graph, k: int, q: int, config: EnumerationConfig) -> Optional[KPlex]:
+    """Return one maximal k-plex with at least ``q`` vertices, or ``None``."""
+    enumerator = KPlexEnumerator(graph, k, q, config)
+    for plex in enumerator.iter_results():
+        return plex
+    return None
+
+
+def find_maximum_kplex(
+    graph: Graph,
+    k: int,
+    minimum_size: Optional[int] = None,
+    config: Optional[EnumerationConfig] = None,
+) -> Optional[KPlex]:
+    """Return a maximum k-plex of ``graph`` with at least ``minimum_size`` vertices.
+
+    ``minimum_size`` defaults to ``2k - 1``, the smallest size for which the
+    search-space decomposition is valid (Definition 3.4); ``None`` is returned
+    when no k-plex of that size exists.
+    """
+    lower = minimum_size if minimum_size is not None else 2 * k - 1
+    validate_parameters(k, lower)
+    config = config or EnumerationConfig.ours()
+
+    # A k-plex of size s is contained in the (s-k)-core, so the degeneracy
+    # bounds the maximum attainable size by D + k (Theorem 5.3 applied to the
+    # whole graph).  This caps the binary search range.
+    upper = min(graph.num_vertices, degeneracy(graph) + k)
+    if upper < lower:
+        return None
+
+    best: Optional[KPlex] = None
+    low, high = lower, upper
+    while low <= high:
+        middle = (low + high) // 2
+        witness = _first_result(graph, k, middle, config)
+        if witness is None:
+            high = middle - 1
+        else:
+            best = witness
+            low = witness.size + 1
+    return best
+
+
+def maximum_kplex_size(graph: Graph, k: int, minimum_size: Optional[int] = None) -> int:
+    """Return the size of a maximum k-plex (0 when none reaches the minimum size)."""
+    result = find_maximum_kplex(graph, k, minimum_size)
+    return result.size if result is not None else 0
+
+
+def maximum_kplex_with_witness(
+    graph: Graph, k: int, minimum_size: Optional[int] = None
+) -> Tuple[int, Optional[KPlex]]:
+    """Return ``(size, witness)`` of a maximum k-plex above the minimum size."""
+    result = find_maximum_kplex(graph, k, minimum_size)
+    return (result.size if result is not None else 0), result

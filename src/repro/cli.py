@@ -1,0 +1,209 @@
+"""Command-line interface.
+
+``kplex-enum`` exposes the main capabilities of the library without writing
+any Python:
+
+* ``kplex-enum enumerate GRAPH -k 2 -q 10`` — enumerate maximal k-plexes of
+  an edge-list / DIMACS / METIS file and print (or save) the results;
+* ``kplex-enum datasets`` — list the bundled surrogate datasets (Table 2);
+* ``kplex-enum experiment table3`` — run one of the paper's experiments and
+  print the reproduced table or figure series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis.export import write_results
+from .analysis.reporting import render_series, render_table
+from .core.config import NAMED_VARIANTS, config_by_name
+from .core.enumerator import KPlexEnumerator
+from .core.query import enumerate_kplexes_containing
+from .datasets import all_datasets, load_dataset
+from .experiments import figures as figure_drivers
+from .experiments import tables as table_drivers
+from .graph.io import load_graph
+
+_EXPERIMENTS = {
+    "table2": lambda scale: render_table(table_drivers.table2_datasets(scale), title="Table 2"),
+    "table3": lambda scale: render_table(table_drivers.table3_sequential(scale), title="Table 3"),
+    "table4": lambda scale: render_table(table_drivers.table4_parallel(scale), title="Table 4"),
+    "table5": lambda scale: render_table(
+        table_drivers.table5_upper_bound_ablation(scale), title="Table 5"
+    ),
+    "table6": lambda scale: render_table(
+        table_drivers.table6_pruning_ablation(scale), title="Table 6"
+    ),
+    "table7": lambda scale: render_table(table_drivers.table7_memory(scale), title="Table 7"),
+    "figure7": lambda scale: "\n\n".join(
+        render_series(series, x_label="q", title=f"Figure 7 — {name}")
+        for name, series in figure_drivers.figure7_vary_q(scale).items()
+    ),
+    "figure8": lambda scale: render_series(
+        figure_drivers.figure8_speedup(scale), x_label="workers", title="Figure 8"
+    ),
+    "figure9": lambda scale: "\n\n".join(
+        render_series(series, x_label="q", title=f"Figure 9 — {name}")
+        for name, series in figure_drivers.figure9_basic_vs_ours(scale).items()
+    ),
+    "figure13": lambda scale: render_series(
+        figure_drivers.figure13_timeout(scale), x_label="timeout", title="Figure 13"
+    ),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="kplex-enum",
+        description="Enumerate large maximal k-plexes (EDBT 2025 reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    enumerate_parser = subparsers.add_parser(
+        "enumerate", help="enumerate maximal k-plexes of a graph file or bundled dataset"
+    )
+    enumerate_parser.add_argument("graph", help="path to a graph file, or dataset:<name>")
+    enumerate_parser.add_argument("-k", type=int, required=True, help="k-plex parameter")
+    enumerate_parser.add_argument("-q", type=int, required=True, help="minimum k-plex size")
+    enumerate_parser.add_argument(
+        "--variant",
+        default="ours",
+        choices=sorted(NAMED_VARIANTS),
+        help="algorithm variant (default: ours)",
+    )
+    enumerate_parser.add_argument(
+        "--format", default="auto", choices=["auto", "edgelist", "dimacs", "metis"]
+    )
+    enumerate_parser.add_argument("--json", action="store_true", help="print results as JSON")
+    enumerate_parser.add_argument(
+        "--limit", type=int, default=20, help="maximum number of k-plexes to print (0 = all)"
+    )
+    enumerate_parser.add_argument("--stats", action="store_true", help="print search statistics")
+    enumerate_parser.add_argument(
+        "--output",
+        default=None,
+        help="write the results to a file (.txt, .csv or .jsonl chosen by extension)",
+    )
+
+    query_parser = subparsers.add_parser(
+        "query", help="enumerate maximal k-plexes containing the given query vertices"
+    )
+    query_parser.add_argument("graph", help="path to a graph file, or dataset:<name>")
+    query_parser.add_argument("vertices", nargs="+", help="query vertex labels")
+    query_parser.add_argument("-k", type=int, required=True, help="k-plex parameter")
+    query_parser.add_argument("-q", type=int, required=True, help="minimum k-plex size")
+    query_parser.add_argument(
+        "--format", default="auto", choices=["auto", "edgelist", "dimacs", "metis"]
+    )
+
+    subparsers.add_parser("datasets", help="list the bundled surrogate datasets")
+
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="reproduce one of the paper's tables or figures"
+    )
+    experiment_parser.add_argument("name", choices=sorted(_EXPERIMENTS))
+    experiment_parser.add_argument(
+        "--scale", default="quick", choices=["quick", "full"], help="workload scale"
+    )
+    return parser
+
+
+def _load_input_graph(spec: str, fmt: str):
+    if spec.startswith("dataset:"):
+        return load_dataset(spec.split(":", 1)[1])
+    return load_graph(spec, fmt=fmt)
+
+
+def _command_enumerate(args: argparse.Namespace) -> int:
+    graph = _load_input_graph(args.graph, args.format)
+    config = config_by_name(args.variant)
+    enumerator = KPlexEnumerator(graph, args.k, args.q, config)
+    result = enumerator.run()
+    if args.json:
+        payload = {
+            "k": args.k,
+            "q": args.q,
+            "variant": args.variant,
+            "count": result.count,
+            "kplexes": [list(plex.labels) for plex in result.kplexes],
+        }
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        print(f"{result.count} maximal {args.k}-plexes with at least {args.q} vertices")
+        limit = args.limit if args.limit > 0 else result.count
+        for plex in result.kplexes[:limit]:
+            print(f"  size={plex.size}: {list(plex.labels)}")
+        if result.count > limit:
+            print(f"  ... ({result.count - limit} more, use --limit 0 to print all)")
+    if args.stats:
+        print(result.statistics)
+    if args.output:
+        fmt = write_results(result.kplexes, args.output)
+        print(f"wrote {result.count} k-plexes to {args.output} ({fmt})")
+    return 0
+
+
+def _parse_query_labels(graph, labels):
+    parsed = []
+    for label in labels:
+        try:
+            parsed.append(graph.index_of(label))
+        except Exception:
+            parsed.append(graph.index_of(int(label)))
+    return parsed
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    graph = _load_input_graph(args.graph, args.format)
+    query = _parse_query_labels(graph, args.vertices)
+    results = enumerate_kplexes_containing(graph, query, args.k, args.q)
+    print(
+        f"{len(results)} maximal {args.k}-plexes with at least {args.q} vertices "
+        f"containing {args.vertices}"
+    )
+    for plex in results:
+        print(f"  size={plex.size}: {list(plex.labels)}")
+    return 0
+
+
+def _command_datasets(_args: argparse.Namespace) -> int:
+    rows = [
+        {
+            "name": spec.name,
+            "category": spec.category,
+            "paper_n": spec.paper_n,
+            "paper_m": spec.paper_m,
+            "description": spec.description,
+        }
+        for spec in all_datasets()
+    ]
+    print(render_table(rows, title="Bundled surrogate datasets (see DESIGN.md §5)"))
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    print(_EXPERIMENTS[args.name](args.scale))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``kplex-enum`` console script."""
+    parser = _build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.command == "enumerate":
+        return _command_enumerate(args)
+    if args.command == "query":
+        return _command_query(args)
+    if args.command == "datasets":
+        return _command_datasets(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

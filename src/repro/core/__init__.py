@@ -1,0 +1,88 @@
+"""Core contribution: the branch-and-bound maximal k-plex enumeration."""
+
+from .bounds import (
+    degree_bound,
+    fp_style_bound,
+    pairwise_bound,
+    seed_task_bound,
+    support_bound,
+)
+from .branch import BranchSearcher, BranchState
+from .config import (
+    BRANCHING_FAPLEXEN,
+    BRANCHING_PIVOT,
+    NAMED_VARIANTS,
+    UPPER_BOUND_FP,
+    UPPER_BOUND_PAPER,
+    EnumerationConfig,
+    config_by_name,
+)
+from .enumerator import (
+    EnumerationResult,
+    KPlexEnumerator,
+    count_maximal_kplexes,
+    enumerate_maximal_kplexes,
+)
+from .kplex import (
+    KPlex,
+    can_extend,
+    deduplicate,
+    is_kplex,
+    is_maximal_kplex,
+    kplex_diameter_ok,
+    non_neighbor_count,
+    saturated_vertices,
+    support_number,
+    validate_parameters,
+    verify_kplex,
+)
+from .pivot import repick_pivot_from_candidates, select_pivot
+from .query import best_community_for, enumerate_kplexes_containing
+from .pruning import build_pair_matrix, corollary_52_keep, pairs_allowed
+from .seeds import SeedContext, SubTask, build_seed_context, iter_seed_contexts, iter_subtasks
+from .stats import SearchStatistics
+
+__all__ = [
+    "KPlex",
+    "KPlexEnumerator",
+    "EnumerationConfig",
+    "EnumerationResult",
+    "SearchStatistics",
+    "BranchSearcher",
+    "BranchState",
+    "SeedContext",
+    "SubTask",
+    "enumerate_maximal_kplexes",
+    "count_maximal_kplexes",
+    "enumerate_kplexes_containing",
+    "best_community_for",
+    "is_kplex",
+    "is_maximal_kplex",
+    "can_extend",
+    "verify_kplex",
+    "validate_parameters",
+    "non_neighbor_count",
+    "saturated_vertices",
+    "support_number",
+    "kplex_diameter_ok",
+    "deduplicate",
+    "degree_bound",
+    "support_bound",
+    "seed_task_bound",
+    "fp_style_bound",
+    "pairwise_bound",
+    "select_pivot",
+    "repick_pivot_from_candidates",
+    "build_pair_matrix",
+    "corollary_52_keep",
+    "pairs_allowed",
+    "build_seed_context",
+    "iter_seed_contexts",
+    "iter_subtasks",
+    "config_by_name",
+    "NAMED_VARIANTS",
+    "BRANCHING_PIVOT",
+    "BRANCHING_FAPLEXEN",
+    "UPPER_BOUND_PAPER",
+    "UPPER_BOUND_FP",
+]

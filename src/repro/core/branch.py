@@ -1,0 +1,367 @@
+"""Branch-and-bound search over one seed subgraph (Algorithm 3).
+
+:class:`BranchSearcher` mines one sub-task ``⟨P, C, X⟩`` at a time.  All sets
+are bitsets over the local index space of the seed subgraph, except the
+*external* part of the exclusive set (vertices preceding the seed in the
+degeneracy ordering) which is a bitset over
+``SeedContext.external_vertices``.
+
+The searcher implements both algorithm variants of the paper:
+
+* ``Ours`` (``branching="pivot"``): when the saturation-maximising pivot
+  falls inside ``P`` it is re-picked among the pivot's non-neighbours in
+  ``C`` (lines 15–16), and the include-branch is pruned whenever the Eq (3)
+  upper bound drops below ``q`` (lines 17–19).
+* ``Ours_P`` (``branching="faplexen"``): when the pivot falls inside ``P``
+  the search instead produces the ``sup_P(v_p) + 1`` branches of
+  Eq (4)–(6), the branching rule of FaPlexen / ListPlex.
+
+A *timeout* hook supports the parallel executor of Section 6: when a
+deadline is exceeded the searcher stops recursing and emits the pending
+branch states to a task sink, turning a straggler sub-task into many smaller
+tasks that other workers can steal.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional
+
+from ..graph.bitset import bits_to_list, iter_bits
+from .bounds import fp_style_bound, support_bound
+from .config import BRANCHING_FAPLEXEN, UPPER_BOUND_FP, EnumerationConfig
+from .pivot import repick_pivot_from_candidates, select_pivot
+from .seeds import SeedContext, SubTask
+from .stats import SearchStatistics
+
+ResultCallback = Callable[[int], None]
+
+
+@dataclass(frozen=True)
+class BranchState:
+    """A frozen search node, used to hand work between workers.
+
+    ``minimum_degree`` caches ``min_{u ∈ P} d_{G_i}(u)`` so the Theorem 5.3
+    bound does not need to rescan ``P`` at every node.
+    """
+
+    p_mask: int
+    c_mask: int
+    x_mask: int
+    x_external_mask: int
+    minimum_degree: int
+
+
+class BranchSearcher:
+    """Branch-and-bound search engine for one seed context."""
+
+    def __init__(
+        self,
+        context: SeedContext,
+        k: int,
+        q: int,
+        config: EnumerationConfig,
+        stats: SearchStatistics,
+        on_result: ResultCallback,
+        timeout: Optional[float] = None,
+        task_sink: Optional[Callable[[BranchState], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.context = context
+        self.k = k
+        self.q = q
+        self.config = config
+        self.stats = stats
+        self.on_result = on_result
+        self.timeout = timeout
+        self.task_sink = task_sink
+        self.clock = clock
+        self._deadline: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Entry points
+    # ------------------------------------------------------------------ #
+    def run_subtask(self, task: SubTask) -> None:
+        """Mine one initial sub-task produced by Algorithm 2."""
+        state = BranchState(
+            p_mask=task.p_mask,
+            c_mask=task.c_mask,
+            x_mask=task.x_mask,
+            x_external_mask=task.x_external_mask,
+            minimum_degree=self._minimum_degree(task.p_mask),
+        )
+        self.run_state(state)
+
+    def run_state(self, state: BranchState) -> None:
+        """Mine a (possibly resumed) branch state, honouring the timeout."""
+        if self.timeout is not None:
+            self._deadline = self.clock() + self.timeout
+        else:
+            self._deadline = None
+        self._branch(
+            state.p_mask,
+            state.c_mask,
+            state.x_mask,
+            state.x_external_mask,
+            state.minimum_degree,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _minimum_degree(self, p_mask: int) -> int:
+        degrees = self.context.degrees
+        members = bits_to_list(p_mask)
+        if not members:
+            return self.context.size
+        return min(degrees[u] for u in members)
+
+    def _saturated_mask(self, p_mask: int, p_size: int) -> int:
+        adjacency = self.context.subgraph.adjacency
+        target = p_size - self.k
+        saturated = 0
+        for u in iter_bits(p_mask):
+            if (adjacency[u] & p_mask).bit_count() == target:
+                saturated |= 1 << u
+        return saturated
+
+    def _refine(self, pool: int, rows: List[int], p_mask: int, threshold: int, saturated: int) -> int:
+        """Keep the pool members whose addition keeps ``P`` a k-plex."""
+        refined = 0
+        for v in iter_bits(pool):
+            row = rows[v]
+            if (row & p_mask).bit_count() >= threshold and (saturated & ~row) == 0:
+                refined |= 1 << v
+        return refined
+
+    def _is_maximal_against(self, pc_mask: int, pc_size: int, x_mask: int, x_external: int) -> bool:
+        """Return ``True`` when no exclusive vertex can extend ``pc_mask``."""
+        adjacency = self.context.subgraph.adjacency
+        threshold = pc_size + 1 - self.k
+        saturated = self._saturated_mask(pc_mask, pc_size)
+        for v in iter_bits(x_mask):
+            row = adjacency[v]
+            if (row & pc_mask).bit_count() >= threshold and (saturated & ~row) == 0:
+                return False
+        external_rows = self.context.external_adjacency
+        for index in iter_bits(x_external):
+            row = external_rows[index]
+            if (row & pc_mask).bit_count() >= threshold and (saturated & ~row) == 0:
+                return False
+        return True
+
+    def _can_add(self, vertex_row: int, p_mask: int, p_size: int, saturated: int) -> bool:
+        return (vertex_row & p_mask).bit_count() >= p_size + 1 - self.k and (
+            saturated & ~vertex_row
+        ) == 0
+
+    def _recurse(
+        self, p_mask: int, c_mask: int, x_mask: int, x_external: int, minimum_degree: int
+    ) -> None:
+        """Recurse into a child node, or hand it to the task sink on timeout."""
+        if (
+            self._deadline is not None
+            and self.task_sink is not None
+            and self.clock() >= self._deadline
+        ):
+            self.task_sink(
+                BranchState(p_mask, c_mask, x_mask, x_external, minimum_degree)
+            )
+            return
+        self._branch(p_mask, c_mask, x_mask, x_external, minimum_degree)
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 3
+    # ------------------------------------------------------------------ #
+    def _branch(
+        self, p_mask: int, c_mask: int, x_mask: int, x_external: int, minimum_degree: int
+    ) -> None:
+        context = self.context
+        adjacency = context.subgraph.adjacency
+        stats = self.stats
+        stats.record_branch(context.seed_vertex)
+
+        k = self.k
+        q = self.q
+        p_size = p_mask.bit_count()
+        threshold = p_size + 1 - k
+        saturated = self._saturated_mask(p_mask, p_size)
+
+        # Lines 2-3: keep only the candidates / exclusive vertices that still
+        # form a k-plex together with P.
+        c_mask = self._refine(c_mask, adjacency, p_mask, threshold, saturated)
+        x_mask = self._refine(x_mask, adjacency, p_mask, threshold, saturated)
+        x_external = self._refine(
+            x_external, context.external_adjacency, p_mask, threshold, saturated
+        )
+
+        # Lines 4-6: no candidate left.
+        if c_mask == 0:
+            if x_mask == 0 and x_external == 0:
+                if p_size >= q:
+                    self.on_result(p_mask)
+                    stats.outputs += 1
+            else:
+                stats.maximality_rejections += 1
+            return
+
+        # Lines 7-10: pivot selection.
+        pivot, pivot_in_p, pivot_degree_pc = select_pivot(context.subgraph, p_mask, c_mask)
+        pc_size = p_size + c_mask.bit_count()
+
+        # Lines 11-14: P ∪ C is already a k-plex.
+        if pivot_degree_pc >= pc_size - k:
+            pc_mask = p_mask | c_mask
+            if pc_size >= q:
+                if self._is_maximal_against(pc_mask, pc_size, x_mask, x_external):
+                    self.on_result(pc_mask)
+                    stats.outputs += 1
+                else:
+                    stats.maximality_rejections += 1
+            return
+
+        # Lines 15-16 / Ours_P branching.
+        if pivot_in_p:
+            if self.config.branching == BRANCHING_FAPLEXEN:
+                self._branch_faplexen(
+                    p_mask, c_mask, x_mask, x_external, minimum_degree, pivot
+                )
+                return
+            repicked = repick_pivot_from_candidates(context.subgraph, p_mask, c_mask, pivot)
+            if repicked is None:
+                # Defensive fallback; unreachable when P is a valid k-plex
+                # because a non-saturated minimum-degree pivot always has a
+                # non-neighbour left in C (see Section 4 of the paper).
+                repicked = (c_mask & -c_mask).bit_length() - 1
+            pivot = repicked
+
+        pivot_bit = 1 << pivot
+
+        # Lines 17-19: include branch, guarded by the Eq (3) upper bound.
+        include_allowed = True
+        if self.config.use_upper_bound and q > 0:
+            if self.config.upper_bound_method == UPPER_BOUND_FP:
+                packing_bound = fp_style_bound(context.subgraph, p_mask, c_mask, pivot, k)
+            else:
+                packing_bound = support_bound(context.subgraph, p_mask, c_mask, pivot, k)
+            degree_bound_value = min(minimum_degree, context.degrees[pivot]) + k
+            if min(packing_bound, degree_bound_value) < q:
+                include_allowed = False
+                stats.branches_pruned_by_upper_bound += 1
+
+        if include_allowed:
+            child_c = c_mask & ~pivot_bit
+            child_x = x_mask
+            if context.pair_ok is not None:
+                allowed = context.pair_ok[pivot]
+                removed = (child_c & ~allowed).bit_count() + (child_x & ~allowed).bit_count()
+                if removed:
+                    stats.candidates_pruned_by_pairs += removed
+                child_c &= allowed
+                child_x &= allowed
+            self._recurse(
+                p_mask | pivot_bit,
+                child_c,
+                child_x,
+                x_external,
+                min(minimum_degree, context.degrees[pivot]),
+            )
+
+        # Line 20: exclude branch (always taken).
+        self._recurse(p_mask, c_mask & ~pivot_bit, x_mask | pivot_bit, x_external, minimum_degree)
+
+    # ------------------------------------------------------------------ #
+    # Ours_P: Eq (4)-(6) branching
+    # ------------------------------------------------------------------ #
+    def _branch_faplexen(
+        self,
+        p_mask: int,
+        c_mask: int,
+        x_mask: int,
+        x_external: int,
+        minimum_degree: int,
+        pivot: int,
+    ) -> None:
+        context = self.context
+        adjacency = context.subgraph.adjacency
+        k = self.k
+        p_size = p_mask.bit_count()
+        support = k - (p_size - (adjacency[pivot] & p_mask).bit_count())
+        non_neighbors = bits_to_list(c_mask & ~adjacency[pivot] & ~(1 << pivot))
+        if not non_neighbors:
+            # Cannot happen for a valid pivot (it would make P ∪ C a k-plex),
+            # handled defensively by falling back to the binary branching.
+            fallback = (c_mask & -c_mask).bit_length() - 1
+            fallback_bit = 1 << fallback
+            self._recurse(
+                p_mask | fallback_bit,
+                c_mask & ~fallback_bit,
+                x_mask,
+                x_external,
+                min(minimum_degree, context.degrees[fallback]),
+            )
+            self._recurse(p_mask, c_mask & ~fallback_bit, x_mask | fallback_bit, x_external, minimum_degree)
+            return
+        support = max(1, min(support, len(non_neighbors)))
+
+        # Branch 1 (Eq (4)): exclude w_1.
+        first = non_neighbors[0]
+        self._recurse(
+            p_mask,
+            c_mask & ~(1 << first),
+            x_mask | (1 << first),
+            x_external,
+            minimum_degree,
+        )
+
+        # Branches 2..support (Eq (5)) and the final branch (Eq (6)).
+        current_p = p_mask
+        current_c = c_mask
+        current_x = x_mask
+        current_min = minimum_degree
+        for index in range(1, support + 1):
+            # Include w_index (1-based: w_1 .. w_support) into P.
+            w = non_neighbors[index - 1]
+            w_bit = 1 << w
+            size_before = current_p.bit_count()
+            saturated = self._saturated_mask(current_p, size_before)
+            if not self._can_add(adjacency[w], current_p, size_before, saturated):
+                # P ∪ {w_1..w_index} is not a k-plex; by hereditariness no
+                # later branch (which includes this set) can produce results.
+                return
+            current_p |= w_bit
+            current_c &= ~w_bit
+            current_min = min(current_min, context.degrees[w])
+            if context.pair_ok is not None:
+                allowed = context.pair_ok[w]
+                removed = (current_c & ~allowed).bit_count() + (current_x & ~allowed).bit_count()
+                if removed:
+                    self.stats.candidates_pruned_by_pairs += removed
+                current_c &= allowed
+                current_x &= allowed
+
+            if index < support:
+                # Eq (5): exclude w_{index+1}.
+                excluded = non_neighbors[index]
+                excluded_bit = 1 << excluded
+                self._recurse(
+                    current_p,
+                    current_c & ~excluded_bit,
+                    current_x | excluded_bit,
+                    x_external,
+                    current_min,
+                )
+            else:
+                # Eq (6): include w_1..w_support and drop the remaining
+                # non-neighbours of the (now saturated) pivot from C.
+                remaining = 0
+                for other in non_neighbors[support:]:
+                    remaining |= 1 << other
+                self._recurse(
+                    current_p,
+                    current_c & ~remaining,
+                    current_x,
+                    x_external,
+                    current_min,
+                )

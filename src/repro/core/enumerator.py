@@ -1,0 +1,182 @@
+"""High-level enumeration API (the paper's Algorithm 2 driving Algorithm 3).
+
+:class:`KPlexEnumerator` owns the whole sequential pipeline:
+
+1. shrink the input graph to its ``(q - k)``-core (Theorem 3.5);
+2. compute the degeneracy ordering and iterate over seed vertices;
+3. build each seed subgraph, prune it with Corollary 5.2, and optionally
+   precompute the vertex-pair co-occurrence matrix (rule R2);
+4. enumerate the initial sub-tasks ``T_{ {v_i} ∪ S }`` (optionally pruned by
+   the Theorem 5.7 bound, rule R1);
+5. mine every sub-task with the branch-and-bound search of Algorithm 3.
+
+Results are reported as :class:`~repro.core.kplex.KPlex` records whose vertex
+ids and labels refer to the *original* input graph.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ParameterError
+from ..graph import Graph
+from ..graph.core_decomposition import shrink_to_core
+from .branch import BranchSearcher
+from .config import EnumerationConfig
+from .kplex import KPlex, validate_parameters
+from .seeds import SeedContext, iter_seed_contexts, iter_subtasks
+from .stats import SearchStatistics
+
+
+@dataclass
+class EnumerationResult:
+    """Outcome of one enumeration run."""
+
+    kplexes: List[KPlex]
+    statistics: SearchStatistics
+    k: int
+    q: int
+    config: EnumerationConfig
+
+    @property
+    def count(self) -> int:
+        """Number of maximal k-plexes found."""
+        return len(self.kplexes)
+
+    def vertex_sets(self) -> List[Tuple[int, ...]]:
+        """Return the result vertex sets (sorted tuples of input-graph ids)."""
+        return [plex.vertices for plex in self.kplexes]
+
+    def __iter__(self) -> Iterator[KPlex]:
+        return iter(self.kplexes)
+
+    def __len__(self) -> int:
+        return len(self.kplexes)
+
+
+class KPlexEnumerator:
+    """Configurable enumerator for maximal k-plexes with at least ``q`` vertices.
+
+    Parameters
+    ----------
+    graph:
+        The input graph.
+    k:
+        The k-plex relaxation parameter (``k = 1`` gives maximal cliques).
+    q:
+        Minimum result size; must satisfy ``q >= 2k - 1`` (Definition 3.4).
+    config:
+        Optional :class:`EnumerationConfig`; defaults to the paper's ``Ours``
+        variant with every pruning technique enabled.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        k: int,
+        q: int,
+        config: Optional[EnumerationConfig] = None,
+    ) -> None:
+        validate_parameters(k, q)
+        self.graph = graph
+        self.k = k
+        self.q = q
+        self.config = config or EnumerationConfig.ours()
+        self.statistics = SearchStatistics()
+        # The (q-k)-core the search actually runs on, plus the map back to
+        # the input graph's vertex ids.
+        self._core_graph, self._core_map = shrink_to_core(graph, q - k)
+
+    # ------------------------------------------------------------------ #
+    # Properties describing the preprocessed search space
+    # ------------------------------------------------------------------ #
+    @property
+    def core_graph(self) -> Graph:
+        """The ``(q - k)``-core the enumeration operates on."""
+        return self._core_graph
+
+    @property
+    def core_vertex_map(self) -> Sequence[int]:
+        """Map from core-graph vertex ids back to input-graph vertex ids."""
+        return self._core_map
+
+    # ------------------------------------------------------------------ #
+    # Enumeration
+    # ------------------------------------------------------------------ #
+    def _result_from_mask(self, context: SeedContext, p_mask: int) -> KPlex:
+        core_vertices = context.subgraph.parents_of_mask(p_mask)
+        original = [self._core_map[v] for v in core_vertices]
+        return KPlex.from_vertices(self.graph, original, self.k)
+
+    def iter_results(self) -> Iterator[KPlex]:
+        """Lazily yield maximal k-plexes (order follows the seed ordering)."""
+        started = time.perf_counter()
+        if self._core_graph.num_vertices >= self.q:
+            for _seed, context in iter_seed_contexts(
+                self._core_graph, self.k, self.q, self.config, self.statistics
+            ):
+                if context is None:
+                    continue
+                found: List[KPlex] = []
+                searcher = BranchSearcher(
+                    context,
+                    self.k,
+                    self.q,
+                    self.config,
+                    self.statistics,
+                    on_result=lambda mask, ctx=context, sink=found: sink.append(
+                        self._result_from_mask(ctx, mask)
+                    ),
+                )
+                for task in iter_subtasks(
+                    context, self.k, self.q, self.config, self.statistics
+                ):
+                    searcher.run_subtask(task)
+                yield from found
+        self.statistics.elapsed_seconds += time.perf_counter() - started
+
+    def run(self) -> EnumerationResult:
+        """Enumerate all maximal k-plexes and return the collected result."""
+        results = list(self.iter_results())
+        if self.config.sort_results:
+            results.sort(key=lambda plex: (plex.size, plex.vertices))
+        return EnumerationResult(
+            kplexes=results,
+            statistics=self.statistics,
+            k=self.k,
+            q=self.q,
+            config=self.config,
+        )
+
+    def count(self) -> int:
+        """Count maximal k-plexes without keeping them in memory."""
+        total = 0
+        for _ in self.iter_results():
+            total += 1
+        return total
+
+
+def enumerate_maximal_kplexes(
+    graph: Graph,
+    k: int,
+    q: int,
+    config: Optional[EnumerationConfig] = None,
+) -> List[KPlex]:
+    """Enumerate all maximal k-plexes of ``graph`` with at least ``q`` vertices.
+
+    This is the one-call functional API around :class:`KPlexEnumerator`,
+    returning the results of the paper's default algorithm ``Ours``.
+    """
+    return KPlexEnumerator(graph, k, q, config).run().kplexes
+
+
+def count_maximal_kplexes(
+    graph: Graph,
+    k: int,
+    q: int,
+    config: Optional[EnumerationConfig] = None,
+) -> int:
+    """Count the maximal k-plexes of ``graph`` with at least ``q`` vertices."""
+    return KPlexEnumerator(graph, k, q, config).count()

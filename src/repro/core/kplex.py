@@ -1,0 +1,204 @@
+"""The k-plex model: definitions, checkers and the result record.
+
+A vertex set ``P`` is a *k-plex* of ``G`` when every member is adjacent to all
+but at most ``k`` vertices of ``P`` (counting itself as one of the missed
+vertices), i.e. ``d_P(v) >= |P| - k`` for every ``v ∈ P`` (Definition 3.1).
+A k-plex is *maximal* when no proper superset is a k-plex; by the hereditary
+property (Theorem 3.2) it suffices to check single-vertex extensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Hashable, Iterable, Optional, Sequence, Tuple
+
+from ..errors import ParameterError
+from ..graph import Graph
+from ..graph.properties import is_connected_subset, subset_diameter
+
+
+@dataclass(frozen=True)
+class KPlex:
+    """A k-plex result.
+
+    Attributes
+    ----------
+    vertices:
+        The member vertex ids (internal ids of the graph that was mined),
+        stored sorted for deterministic comparisons.
+    labels:
+        The caller-facing labels of the members, aligned with ``vertices``.
+    k:
+        The relaxation parameter the set was mined with.
+    """
+
+    vertices: Tuple[int, ...]
+    labels: Tuple[Hashable, ...] = field(default=())
+    k: int = 1
+
+    @classmethod
+    def from_vertices(cls, graph: Graph, vertices: Iterable[int], k: int) -> "KPlex":
+        """Build a :class:`KPlex` from internal vertex ids of ``graph``."""
+        ordered = tuple(sorted(vertices))
+        return cls(vertices=ordered, labels=tuple(graph.label(v) for v in ordered), k=k)
+
+    @property
+    def size(self) -> int:
+        """Number of member vertices."""
+        return len(self.vertices)
+
+    def as_set(self) -> FrozenSet[int]:
+        """Return the members as a frozen set of internal vertex ids."""
+        return frozenset(self.vertices)
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def __contains__(self, vertex: object) -> bool:
+        return vertex in self.vertices
+
+    def __iter__(self):
+        return iter(self.vertices)
+
+
+def validate_parameters(k: int, q: int, enforce_diameter_bound: bool = True) -> None:
+    """Validate the mining parameters ``k`` and ``q``.
+
+    The enumeration algorithm relies on Theorem 3.3 (diameter of a k-plex with
+    at least ``2k - 1`` vertices is at most two), so the size threshold must
+    satisfy ``q >= 2k - 1`` (Definition 3.4).  Checkers that do not rely on
+    the seed decomposition may pass ``enforce_diameter_bound=False``.
+    """
+    if k < 1:
+        raise ParameterError(f"k must be a positive integer, got {k}")
+    if q < 1:
+        raise ParameterError(f"q must be a positive integer, got {q}")
+    if enforce_diameter_bound and q < 2 * k - 1:
+        raise ParameterError(
+            f"q must be at least 2k - 1 = {2 * k - 1} (Definition 3.4) to guarantee "
+            f"connected results, got q={q}"
+        )
+
+
+def non_neighbor_count(graph: Graph, vertex: int, members: FrozenSet[int]) -> int:
+    """Return ``\\bar d_P(vertex)``: non-neighbours of ``vertex`` inside ``members``.
+
+    The vertex counts itself as a non-neighbour when it is a member, matching
+    the convention of Definition 3.1.
+    """
+    adjacent = graph.neighbors(vertex)
+    return sum(1 for member in members if member != vertex and member not in adjacent) + (
+        1 if vertex in members else 0
+    )
+
+
+def is_kplex(graph: Graph, vertices: Iterable[int], k: int) -> bool:
+    """Return ``True`` when ``vertices`` induces a k-plex of ``graph``."""
+    members = frozenset(vertices)
+    if not members:
+        return True
+    threshold = len(members) - k
+    for vertex in members:
+        degree_inside = sum(1 for w in graph.neighbors(vertex) if w in members)
+        if degree_inside < threshold:
+            return False
+    return True
+
+
+def can_extend(graph: Graph, members: FrozenSet[int], candidate: int, k: int) -> bool:
+    """Return ``True`` when ``members ∪ {candidate}`` is a k-plex.
+
+    ``members`` is assumed to already be a k-plex; the incremental check costs
+    ``O(|members|)`` instead of re-validating the whole set.
+    """
+    if candidate in members:
+        return True
+    size_after = len(members) + 1
+    adjacent = graph.neighbors(candidate)
+    inside = sum(1 for member in members if member in adjacent)
+    if inside < size_after - k:
+        return False
+    for member in members:
+        if member in adjacent:
+            continue
+        degree_inside = sum(1 for w in graph.neighbors(member) if w in members)
+        if degree_inside + 0 < size_after - k:
+            return False
+    return True
+
+
+def is_maximal_kplex(graph: Graph, vertices: Iterable[int], k: int) -> bool:
+    """Return ``True`` when ``vertices`` is a k-plex that no single vertex extends."""
+    members = frozenset(vertices)
+    if not is_kplex(graph, members, k):
+        return False
+    for candidate in graph.vertices():
+        if candidate in members:
+            continue
+        if can_extend(graph, members, candidate, k):
+            return False
+    return True
+
+
+def saturated_vertices(graph: Graph, members: FrozenSet[int], k: int) -> FrozenSet[int]:
+    """Return the saturated members: those with exactly ``k`` non-neighbours inside.
+
+    A saturated vertex cannot tolerate another non-neighbour, so every vertex
+    added to the k-plex must be adjacent to all of them.  This is the property
+    the paper's pivot selection maximises.
+    """
+    return frozenset(
+        vertex for vertex in members if non_neighbor_count(graph, vertex, members) == k
+    )
+
+
+def support_number(graph: Graph, members: FrozenSet[int], vertex: int, k: int) -> int:
+    """Return ``sup_P(vertex) = k - \\bar d_P(vertex)`` (Section 5 of the paper)."""
+    return k - non_neighbor_count(graph, vertex, members)
+
+
+def kplex_diameter_ok(graph: Graph, vertices: Iterable[int], k: int) -> bool:
+    """Check the Theorem 3.3 property for a k-plex with at least ``2k - 1`` vertices.
+
+    Returns ``True`` when the induced subgraph is connected with diameter at
+    most two, or when the premise (``|P| >= 2k - 1``) does not apply.
+    """
+    members = frozenset(vertices)
+    if len(members) < 2 * k - 1:
+        return True
+    if not is_connected_subset(graph, members):
+        return False
+    return subset_diameter(graph, members) <= 2
+
+
+def verify_kplex(
+    graph: Graph,
+    vertices: Iterable[int],
+    k: int,
+    q: Optional[int] = None,
+    require_maximal: bool = True,
+) -> None:
+    """Raise :class:`AssertionError` with a precise message when a result is invalid.
+
+    This is the strict checker used by the test-suite and by
+    :mod:`repro.analysis.verification` when cross-checking algorithm outputs.
+    """
+    members = frozenset(vertices)
+    if not is_kplex(graph, members, k):
+        raise AssertionError(f"{sorted(members)} is not a {k}-plex")
+    if q is not None and len(members) < q:
+        raise AssertionError(f"{sorted(members)} has fewer than q={q} vertices")
+    if require_maximal and not is_maximal_kplex(graph, members, k):
+        raise AssertionError(f"{sorted(members)} is not maximal")
+
+
+def deduplicate(results: Sequence[KPlex]) -> Tuple[KPlex, ...]:
+    """Return ``results`` with duplicate vertex sets removed (order preserved)."""
+    seen = set()
+    unique = []
+    for plex in results:
+        key = plex.vertices
+        if key not in seen:
+            seen.add(key)
+            unique.append(plex)
+    return tuple(unique)

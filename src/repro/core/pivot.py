@@ -1,0 +1,87 @@
+"""Pivot selection (Algorithm 3, lines 7–10 and 15–16).
+
+The paper selects as pivot a vertex of minimum degree inside ``G[P ∪ C]``;
+ties are broken towards the vertex with the most non-neighbours in ``P``
+(closest to saturation), because saturated vertices in ``P`` force every
+future candidate to be adjacent to them and therefore shrink the candidate
+set the fastest.  When the chosen pivot already belongs to ``P`` the search
+re-picks, with the same rules, a pivot among the non-neighbours of the old
+pivot inside ``C`` — that candidate vertex is the one actually branched on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..graph.bitset import iter_bits
+from ..graph.dense import DenseSubgraph
+
+
+def select_pivot(
+    subgraph: DenseSubgraph, p_mask: int, c_mask: int
+) -> Tuple[int, bool, int]:
+    """Select the pivot from ``P ∪ C`` following Algorithm 3 lines 7–10.
+
+    Returns ``(pivot, pivot_in_p, degree_in_pc)`` where ``degree_in_pc`` is
+    the pivot's degree inside ``G[P ∪ C]`` (needed for the early "``P ∪ C`` is
+    already a k-plex" test on line 11).  Ties on both criteria are broken by
+    the smallest local index so the search is deterministic.
+    """
+    adjacency = subgraph.adjacency
+    pc_mask = p_mask | c_mask
+    p_size = p_mask.bit_count()
+
+    best_vertex = -1
+    best_degree = None
+    best_non_neighbors = -1
+    best_in_p = False
+    for vertex in iter_bits(pc_mask):
+        degree = (adjacency[vertex] & pc_mask).bit_count()
+        non_neighbors = p_size - (adjacency[vertex] & p_mask).bit_count()
+        in_p = (p_mask >> vertex) & 1 == 1
+        if best_degree is None or degree < best_degree:
+            better = True
+        elif degree == best_degree:
+            if non_neighbors > best_non_neighbors:
+                better = True
+            elif non_neighbors == best_non_neighbors:
+                # Prefer a pivot inside P (line 9 of Algorithm 3).
+                better = in_p and not best_in_p
+            else:
+                better = False
+        else:
+            better = False
+        if better:
+            best_vertex = vertex
+            best_degree = degree
+            best_non_neighbors = non_neighbors
+            best_in_p = in_p
+    return best_vertex, best_in_p, best_degree if best_degree is not None else 0
+
+
+def repick_pivot_from_candidates(
+    subgraph: DenseSubgraph, p_mask: int, c_mask: int, old_pivot: int
+) -> Optional[int]:
+    """Re-pick the pivot among ``\\bar N_C(old_pivot)`` (Algorithm 3 line 16).
+
+    The candidates considered are the non-neighbours of ``old_pivot`` inside
+    ``C``; the same minimum-degree / closest-to-saturation rules apply.
+    Returns ``None`` when no such candidate exists (which cannot happen on
+    the paths Algorithm 3 takes, but is handled defensively).
+    """
+    adjacency = subgraph.adjacency
+    pool = c_mask & ~adjacency[old_pivot] & ~(1 << old_pivot)
+    if pool == 0:
+        return None
+    pc_mask = p_mask | c_mask
+    p_size = p_mask.bit_count()
+    best_vertex = None
+    best_key = None
+    for vertex in iter_bits(pool):
+        degree = (adjacency[vertex] & pc_mask).bit_count()
+        non_neighbors = p_size - (adjacency[vertex] & p_mask).bit_count()
+        key = (degree, -non_neighbors, vertex)
+        if best_key is None or key < best_key:
+            best_key = key
+            best_vertex = vertex
+    return best_vertex

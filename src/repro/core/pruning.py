@@ -1,0 +1,166 @@
+"""Pruning techniques: Corollary 5.2 and the vertex-pair rules (R2).
+
+Two families of pruning are implemented here:
+
+* :func:`prune_seed_subgraph` applies Corollary 5.2 to the vertex set of a
+  seed subgraph ``G_i``: a vertex that does not share enough common
+  neighbours with the seed can never occur in a k-plex of size ``q`` together
+  with the seed and is removed before the dense subgraph is materialised.
+
+* :func:`build_pair_matrix` precomputes the boolean co-occurrence matrix ``T``
+  of Theorems 5.13–5.15.  ``T[u][v]`` is ``False`` when ``u`` and ``v`` cannot
+  both belong to a k-plex with at least ``q`` vertices in the current seed
+  subgraph, based on how many common neighbours they have inside the initial
+  candidate set ``C_S``.  The matrix is stored as one bitset row per local
+  vertex so that filtering a candidate set is a single ``&``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from ..graph import Graph
+from ..graph.bitset import iter_bits
+from ..graph.dense import DenseSubgraph
+
+
+def corollary_52_keep(
+    graph: Graph,
+    seed: int,
+    vertices: Sequence[int],
+    k: int,
+    q: int,
+    iterate_to_fixpoint: bool = True,
+) -> Set[int]:
+    """Return the subset of ``vertices`` that survives Corollary 5.2.
+
+    ``vertices`` is the candidate vertex set ``V_i`` of seed ``seed`` (the seed
+    itself must be included and is never pruned).  A vertex ``u`` is pruned
+    when
+
+    * ``u ∈ N(seed)`` and ``|N(u) ∩ N(seed)| < q - 2k`` inside ``G_i``, or
+    * ``u ∈ N²(seed)`` and ``|N(u) ∩ N(seed)| < q - 2k + 2`` inside ``G_i``.
+
+    Removing a vertex shrinks the neighbourhoods inside ``G_i``, so the rule
+    is re-applied until a fixpoint is reached (pruned vertices can never
+    re-qualify, hence the iteration is monotone and terminates).
+    """
+    kept: Set[int] = set(vertices)
+    kept.add(seed)
+    neighbor_threshold = q - 2 * k
+    two_hop_threshold = q - 2 * k + 2
+    changed = True
+    while changed:
+        changed = False
+        seed_neighbors = graph.neighbors(seed) & kept
+        removable = []
+        for u in kept:
+            if u == seed:
+                continue
+            common = len(graph.neighbors(u) & seed_neighbors)
+            threshold = neighbor_threshold if u in seed_neighbors else two_hop_threshold
+            if common < threshold:
+                removable.append(u)
+        if removable:
+            kept.difference_update(removable)
+            changed = iterate_to_fixpoint
+    return kept
+
+
+# --------------------------------------------------------------------------- #
+# Vertex-pair pruning (Theorems 5.13 - 5.15)
+# --------------------------------------------------------------------------- #
+def _pair_threshold_both_two_hop(k: int, q: int, adjacent: bool) -> int:
+    """Theorem 5.13 thresholds: both endpoints in ``N²_{G_i}(v_i)``."""
+    if adjacent:
+        return q - k - 2 * max(k - 2, 0)
+    return q - k - 2 * max(k - 3, 0)
+
+
+def _pair_threshold_mixed(k: int, q: int, adjacent: bool) -> int:
+    """Theorem 5.14 thresholds: one endpoint in ``N²``, the other in ``N(v_i)``.
+
+    The thresholds follow the derivation in the paper's Appendix A.9 (the
+    bound actually proven), which is the safe direction for pruning.
+    """
+    if adjacent:
+        return q - 2 * k - max(k - 2, 0)
+    return q - k - max(k - 2, 0) - max(k - 2, 1)
+
+
+def _pair_threshold_both_candidates(k: int, q: int, adjacent: bool) -> int:
+    """Theorem 5.15 thresholds: both endpoints in ``C_S = N_{G_i}(v_i)``."""
+    if adjacent:
+        return q - 3 * k
+    return q - k - 2 * max(k - 1, 1)
+
+
+def build_pair_matrix(
+    subgraph: DenseSubgraph,
+    seed_local: int,
+    candidate_mask: int,
+    two_hop_mask: int,
+    k: int,
+    q: int,
+) -> List[int]:
+    """Build the co-occurrence bitset rows ``pair_ok`` for a seed subgraph.
+
+    ``pair_ok[u]`` has bit ``v`` set when Theorems 5.13–5.15 do **not** rule
+    out ``u`` and ``v`` co-occurring in a k-plex of size at least ``q`` inside
+    this seed subgraph.  The seed vertex row allows everything (the seed is in
+    every k-plex of the task group by construction).
+    """
+    size = subgraph.size
+    full = subgraph.full_mask
+    pair_ok = [full] * size
+    adjacency = subgraph.adjacency
+
+    locals_two_hop = list(iter_bits(two_hop_mask))
+    locals_candidates = list(iter_bits(candidate_mask))
+
+    def disallow(u: int, v: int) -> None:
+        pair_ok[u] &= ~(1 << v)
+        pair_ok[v] &= ~(1 << u)
+
+    # Theorem 5.13: both vertices from the two-hop set.
+    for index, u in enumerate(locals_two_hop):
+        for v in locals_two_hop[index + 1 :]:
+            adjacent = (adjacency[u] >> v) & 1 == 1
+            common = (adjacency[u] & adjacency[v] & candidate_mask).bit_count()
+            if common < _pair_threshold_both_two_hop(k, q, adjacent):
+                disallow(u, v)
+
+    # Theorem 5.14: one two-hop vertex with one candidate vertex.
+    for u in locals_two_hop:
+        for v in locals_candidates:
+            adjacent = (adjacency[u] >> v) & 1 == 1
+            reduced_candidates = candidate_mask & ~(1 << v)
+            common = (adjacency[u] & adjacency[v] & reduced_candidates).bit_count()
+            if common < _pair_threshold_mixed(k, q, adjacent):
+                disallow(u, v)
+
+    # Theorem 5.15: both vertices from the candidate set.
+    for index, u in enumerate(locals_candidates):
+        for v in locals_candidates[index + 1 :]:
+            adjacent = (adjacency[u] >> v) & 1 == 1
+            reduced_candidates = candidate_mask & ~(1 << u) & ~(1 << v)
+            common = (adjacency[u] & adjacency[v] & reduced_candidates).bit_count()
+            if common < _pair_threshold_both_candidates(k, q, adjacent):
+                disallow(u, v)
+
+    # The seed may co-occur with every surviving vertex of its own subgraph.
+    pair_ok[seed_local] = full
+    for u in range(size):
+        pair_ok[u] |= 1 << seed_local
+    return pair_ok
+
+
+def pairs_allowed(pair_ok: Optional[Sequence[int]], u: int, mask: int) -> int:
+    """Filter ``mask`` down to the vertices allowed to co-occur with ``u``.
+
+    When no pair matrix is available (R2 disabled) the mask is returned
+    unchanged.
+    """
+    if pair_ok is None:
+        return mask
+    return mask & pair_ok[u]

@@ -1,0 +1,263 @@
+"""Search-space partitioning into seed subgraphs and initial sub-tasks (Algorithm 2).
+
+For every seed vertex ``v_i`` (taken in degeneracy order) the algorithm
+builds a *seed subgraph* ``G_i`` induced by the vertices that come after
+``v_i`` in the ordering and lie within two hops of it (Eq (1) of the paper),
+shrinks it with Corollary 5.2, and splits the work under ``v_i`` into
+independent sub-tasks ``T_{ {v_i} ∪ S }`` — one per subset ``S`` of the
+seed's non-neighbours in ``G_i`` with ``|S| <= k - 1``.  Each sub-task is a
+``⟨P, C, X⟩`` triple ready to be mined by the branch-and-bound search of
+Algorithm 3; the exclusive set ``X`` carries both the seed subgraph vertices
+excluded from ``S`` and the *external* vertices that precede ``v_i`` in the
+ordering but could still witness non-maximality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..graph import Graph
+from ..graph.bitset import bits_to_list, iter_bits
+from ..graph.core_decomposition import core_decomposition
+from ..graph.dense import DenseSubgraph, external_adjacency_mask
+from .bounds import seed_task_bound
+from .config import EnumerationConfig
+from .pruning import build_pair_matrix, corollary_52_keep
+from .stats import SearchStatistics
+
+
+@dataclass
+class SeedContext:
+    """Everything shared by the sub-tasks of one seed vertex (one task group).
+
+    Attributes
+    ----------
+    seed_vertex:
+        The seed's vertex id in the mined graph.
+    subgraph:
+        The dense (bitset) representation of the pruned seed subgraph ``G_i``.
+    seed_local:
+        Local index of the seed inside :attr:`subgraph`.
+    candidate_mask:
+        ``C_S = N_{G_i}(v_i)`` as a local bitset.
+    two_hop_mask:
+        The seed's non-neighbours in ``G_i`` (the pool the sets ``S`` are
+        drawn from) as a local bitset.
+    external_vertices / external_adjacency:
+        The vertices of ``V'_i`` (earlier in the degeneracy ordering, within
+        two hops of the seed) and their adjacency projected into the local
+        index space; they participate only in maximality checks.
+    degrees:
+        Degree of every local vertex inside the pruned ``G_i`` (Theorem 5.3).
+    pair_ok:
+        The co-occurrence bitset rows of Theorems 5.13–5.15, or ``None`` when
+        rule R2 is disabled.
+    """
+
+    seed_vertex: int
+    subgraph: DenseSubgraph
+    seed_local: int
+    candidate_mask: int
+    two_hop_mask: int
+    external_vertices: List[int]
+    external_adjacency: List[int]
+    degrees: List[int]
+    pair_ok: Optional[List[int]] = None
+
+    @property
+    def size(self) -> int:
+        """Number of vertices in the (pruned) seed subgraph."""
+        return self.subgraph.size
+
+
+@dataclass(frozen=True)
+class SubTask:
+    """One initial sub-task ``T_{ {v_i} ∪ S } = ⟨P_S, C_S, X_S⟩`` (local bitsets)."""
+
+    p_mask: int
+    c_mask: int
+    x_mask: int
+    x_external_mask: int
+
+    def describe(self, context: SeedContext) -> str:
+        """Human-readable description used in logs and straggler reports."""
+        members = context.subgraph.parents_of_mask(self.p_mask)
+        return f"seed={context.seed_vertex} P={members}"
+
+
+def build_seed_context(
+    graph: Graph,
+    order_position: Sequence[int],
+    seed_vertex: int,
+    k: int,
+    q: int,
+    config: EnumerationConfig,
+    stats: Optional[SearchStatistics] = None,
+) -> Optional[SeedContext]:
+    """Build the :class:`SeedContext` for one seed vertex, or ``None`` if prunable.
+
+    ``order_position[v]`` must give the position of vertex ``v`` in the
+    degeneracy ordering.  ``None`` is returned when the (pruned) seed
+    subgraph is too small to contain a k-plex with ``q`` vertices.
+    """
+    seed_position = order_position[seed_vertex]
+    neighbors = graph.neighbors(seed_vertex)
+    two_hops = graph.two_hop_neighbors(seed_vertex)
+
+    later = [
+        vertex
+        for vertex in neighbors | two_hops
+        if order_position[vertex] > seed_position
+    ]
+    candidate_vertices = set(later)
+    candidate_vertices.add(seed_vertex)
+    if len(candidate_vertices) < q:
+        if stats is not None:
+            stats.seeds_pruned_empty += 1
+        return None
+
+    if config.use_seed_pruning:
+        kept = corollary_52_keep(graph, seed_vertex, candidate_vertices, k, q)
+        if stats is not None:
+            stats.vertices_pruned_by_corollary += len(candidate_vertices) - len(kept)
+    else:
+        kept = set(candidate_vertices)
+    if len(kept) < q:
+        if stats is not None:
+            stats.seeds_pruned_empty += 1
+        return None
+
+    # Local ordering: seed first, then its neighbours, then its non-neighbours,
+    # each group sorted by vertex id.  Keeping the seed at index 0 makes masks
+    # easy to reason about in tests.
+    kept_neighbors = sorted(v for v in kept if v in neighbors)
+    kept_two_hop = sorted(v for v in kept if v != seed_vertex and v not in neighbors)
+    local_vertices = [seed_vertex] + kept_neighbors + kept_two_hop
+    subgraph = DenseSubgraph(graph, local_vertices)
+    seed_local = 0
+    candidate_mask = subgraph.mask_of_parents(kept_neighbors)
+    two_hop_mask = subgraph.mask_of_parents(kept_two_hop)
+
+    # External exclusive vertices: earlier in the ordering, within two hops.
+    external_vertices = sorted(
+        vertex
+        for vertex in neighbors | two_hops
+        if order_position[vertex] < seed_position
+    )
+    external_adjacency = [
+        external_adjacency_mask(subgraph, vertex) for vertex in external_vertices
+    ]
+    degrees = [subgraph.degree(v) for v in range(subgraph.size)]
+
+    pair_ok = None
+    if config.use_pair_pruning:
+        pair_ok = build_pair_matrix(
+            subgraph, seed_local, candidate_mask, two_hop_mask, k, q
+        )
+
+    if stats is not None:
+        stats.record_seed(seed_vertex, subgraph.size)
+    return SeedContext(
+        seed_vertex=seed_vertex,
+        subgraph=subgraph,
+        seed_local=seed_local,
+        candidate_mask=candidate_mask,
+        two_hop_mask=two_hop_mask,
+        external_vertices=external_vertices,
+        external_adjacency=external_adjacency,
+        degrees=degrees,
+        pair_ok=pair_ok,
+    )
+
+
+def iter_subtasks(
+    context: SeedContext,
+    k: int,
+    q: int,
+    config: EnumerationConfig,
+    stats: Optional[SearchStatistics] = None,
+) -> Iterator[SubTask]:
+    """Enumerate the sub-tasks of a seed context (Algorithm 2 lines 7–10).
+
+    Subsets ``S`` of the seed's non-neighbours are generated by a
+    set-enumeration search bounded by ``|S| <= k - 1``.  When rule R2 is
+    active, extending ``S`` by a vertex ``u`` immediately filters both the
+    remaining extension pool (Theorem 5.13) and the sub-task candidate set
+    ``C_S`` (Theorem 5.14) through the pair matrix.  When rule R1 is active,
+    sub-tasks whose Theorem 5.7 upper bound falls below ``q`` are skipped.
+    """
+    subgraph = context.subgraph
+    seed_bit = 1 << context.seed_local
+    two_hop_members = bits_to_list(context.two_hop_mask)
+    pair_ok = context.pair_ok
+
+    def emit(s_mask: int, c_mask: int) -> Optional[SubTask]:
+        p_mask = seed_bit | s_mask
+        if stats is not None:
+            stats.subtasks += 1
+        if config.use_seed_upper_bound and s_mask:
+            bound = seed_task_bound(
+                subgraph, context.seed_local, p_mask, c_mask, context.degrees, k
+            )
+            if bound < q:
+                if stats is not None:
+                    stats.subtasks_pruned_by_seed_bound += 1
+                return None
+        x_mask = context.two_hop_mask & ~s_mask
+        return SubTask(
+            p_mask=p_mask,
+            c_mask=c_mask,
+            x_mask=x_mask,
+            x_external_mask=(1 << len(context.external_vertices)) - 1,
+        )
+
+    def recurse(
+        s_mask: int, start: int, c_mask: int, extension_mask: int
+    ) -> Iterator[SubTask]:
+        task = emit(s_mask, c_mask)
+        if task is not None:
+            yield task
+        if s_mask.bit_count() >= k - 1:
+            return
+        for position in range(start, len(two_hop_members)):
+            vertex = two_hop_members[position]
+            if (extension_mask >> vertex) & 1 == 0:
+                continue
+            new_c_mask = c_mask
+            new_extension = extension_mask
+            if pair_ok is not None:
+                new_c_mask &= pair_ok[vertex]
+                new_extension &= pair_ok[vertex]
+                if stats is not None:
+                    stats.candidates_pruned_by_pairs += (
+                        c_mask.bit_count() - new_c_mask.bit_count()
+                    )
+            yield from recurse(
+                s_mask | (1 << vertex), position + 1, new_c_mask, new_extension
+            )
+
+    yield from recurse(0, 0, context.candidate_mask, context.two_hop_mask)
+
+
+def iter_seed_contexts(
+    graph: Graph,
+    k: int,
+    q: int,
+    config: EnumerationConfig,
+    stats: Optional[SearchStatistics] = None,
+    seed_vertices: Optional[Sequence[int]] = None,
+) -> Iterator[Tuple[int, Optional[SeedContext]]]:
+    """Iterate over ``(seed_vertex, SeedContext or None)`` in degeneracy order.
+
+    The caller is expected to have already shrunk ``graph`` to its
+    ``(q - k)``-core (Theorem 3.5); the seed order is the degeneracy ordering
+    of that graph.  ``seed_vertices`` restricts the iteration to a subset of
+    seeds (used by the parallel executor to assign task groups to workers).
+    """
+    decomposition = core_decomposition(graph)
+    position = decomposition.position()
+    seeds = decomposition.order if seed_vertices is None else list(seed_vertices)
+    for seed_vertex in seeds:
+        context = build_seed_context(graph, position, seed_vertex, k, q, config, stats)
+        yield seed_vertex, context

@@ -1,0 +1,85 @@
+"""Search statistics collected during enumeration.
+
+The counters mirror the quantities the paper uses to explain its speedups:
+how many seed subgraphs and sub-tasks were generated, how many branch nodes
+were explored, and how often each pruning technique fired.  They are also the
+cost model consumed by the simulated parallel scheduler
+(:mod:`repro.parallel.simulator`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SearchStatistics:
+    """Mutable counters filled in by the enumerator."""
+
+    seeds: int = 0
+    seed_subgraph_vertices: int = 0
+    seeds_pruned_empty: int = 0
+    subtasks: int = 0
+    subtasks_pruned_by_seed_bound: int = 0
+    branch_calls: int = 0
+    outputs: int = 0
+    branches_pruned_by_upper_bound: int = 0
+    candidates_pruned_by_pairs: int = 0
+    vertices_pruned_by_corollary: int = 0
+    maximality_rejections: int = 0
+    elapsed_seconds: float = 0.0
+    per_seed_branch_calls: Dict[int, int] = field(default_factory=dict)
+
+    def record_seed(self, seed_vertex: int, subgraph_size: int) -> None:
+        """Record that a seed subgraph with ``subgraph_size`` vertices was built."""
+        self.seeds += 1
+        self.seed_subgraph_vertices += subgraph_size
+        self.per_seed_branch_calls.setdefault(seed_vertex, 0)
+
+    def record_branch(self, seed_vertex: int) -> None:
+        """Record one invocation of the branch-and-bound body for ``seed_vertex``."""
+        self.branch_calls += 1
+        if seed_vertex in self.per_seed_branch_calls:
+            self.per_seed_branch_calls[seed_vertex] += 1
+        else:
+            self.per_seed_branch_calls[seed_vertex] = 1
+
+    def merge(self, other: "SearchStatistics") -> "SearchStatistics":
+        """Accumulate ``other`` into this object (used by the parallel executor)."""
+        self.seeds += other.seeds
+        self.seed_subgraph_vertices += other.seed_subgraph_vertices
+        self.seeds_pruned_empty += other.seeds_pruned_empty
+        self.subtasks += other.subtasks
+        self.subtasks_pruned_by_seed_bound += other.subtasks_pruned_by_seed_bound
+        self.branch_calls += other.branch_calls
+        self.outputs += other.outputs
+        self.branches_pruned_by_upper_bound += other.branches_pruned_by_upper_bound
+        self.candidates_pruned_by_pairs += other.candidates_pruned_by_pairs
+        self.vertices_pruned_by_corollary += other.vertices_pruned_by_corollary
+        self.maximality_rejections += other.maximality_rejections
+        self.elapsed_seconds = max(self.elapsed_seconds, other.elapsed_seconds)
+        for seed, calls in other.per_seed_branch_calls.items():
+            self.per_seed_branch_calls[seed] = self.per_seed_branch_calls.get(seed, 0) + calls
+        return self
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the scalar counters as a dictionary (for tables and logs)."""
+        return {
+            "seeds": self.seeds,
+            "seed_subgraph_vertices": self.seed_subgraph_vertices,
+            "seeds_pruned_empty": self.seeds_pruned_empty,
+            "subtasks": self.subtasks,
+            "subtasks_pruned_by_seed_bound": self.subtasks_pruned_by_seed_bound,
+            "branch_calls": self.branch_calls,
+            "outputs": self.outputs,
+            "branches_pruned_by_upper_bound": self.branches_pruned_by_upper_bound,
+            "candidates_pruned_by_pairs": self.candidates_pruned_by_pairs,
+            "vertices_pruned_by_corollary": self.vertices_pruned_by_corollary,
+            "maximality_rejections": self.maximality_rejections,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    def __str__(self) -> str:
+        parts = [f"{key}={value}" for key, value in self.as_dict().items()]
+        return "SearchStatistics(" + ", ".join(parts) + ")"

@@ -1,0 +1,11 @@
+"""Surrogate dataset registry mirroring Table 2 of the paper."""
+
+from .registry import DatasetSpec, all_datasets, dataset_names, get_dataset, load_dataset
+
+__all__ = [
+    "DatasetSpec",
+    "all_datasets",
+    "dataset_names",
+    "get_dataset",
+    "load_dataset",
+]

@@ -1,0 +1,21 @@
+"""Exception types shared across the :mod:`repro` package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Raised when a graph is malformed or an operation refers to unknown vertices."""
+
+
+class ParameterError(ReproError):
+    """Raised when enumeration parameters (``k``, ``q``, thresholds) are invalid."""
+
+
+class DatasetError(ReproError):
+    """Raised when a named dataset cannot be found or constructed."""
+
+
+class FormatError(ReproError):
+    """Raised when a graph file cannot be parsed in the requested format."""

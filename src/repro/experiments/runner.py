@@ -1,0 +1,144 @@
+"""Shared machinery for the experiment drivers.
+
+Every experiment in the paper boils down to "run algorithm A on dataset D
+with parameters (k, q) and record the running time, the number of k-plexes
+and, for some tables, the peak memory".  :func:`run_algorithm` provides that
+single measurement, and :class:`RunRecord` is the row format every table and
+figure driver builds on.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..baselines.fp import FPLike
+from ..baselines.listplex import ListPlexLike
+from ..core.config import EnumerationConfig
+from ..core.enumerator import EnumerationResult, KPlexEnumerator
+from ..graph import Graph
+
+ALGORITHM_FP = "FP"
+ALGORITHM_LISTPLEX = "ListPlex"
+ALGORITHM_OURS = "Ours"
+ALGORITHM_OURS_P = "Ours_P"
+ALGORITHM_BASIC = "Basic"
+ALGORITHM_BASIC_R1 = "Basic+R1"
+ALGORITHM_BASIC_R2 = "Basic+R2"
+ALGORITHM_OURS_NO_UB = "Ours\\ub"
+ALGORITHM_OURS_FP_UB = "Ours\\ub+fp"
+
+SEQUENTIAL_ALGORITHMS = (ALGORITHM_FP, ALGORITHM_LISTPLEX, ALGORITHM_OURS_P, ALGORITHM_OURS)
+UPPER_BOUND_ABLATION = (ALGORITHM_OURS_NO_UB, ALGORITHM_OURS_FP_UB, ALGORITHM_OURS)
+PRUNING_ABLATION = (ALGORITHM_BASIC, ALGORITHM_BASIC_R1, ALGORITHM_BASIC_R2, ALGORITHM_OURS)
+
+
+@dataclass
+class RunRecord:
+    """One measurement: algorithm x dataset x (k, q)."""
+
+    algorithm: str
+    dataset: str
+    k: int
+    q: int
+    num_kplexes: int
+    seconds: float
+    branch_calls: int = 0
+    peak_memory_bytes: int = 0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def as_row(self) -> Dict[str, object]:
+        """Flatten the record for table rendering."""
+        row: Dict[str, object] = {
+            "dataset": self.dataset,
+            "k": self.k,
+            "q": self.q,
+            "algorithm": self.algorithm,
+            "kplexes": self.num_kplexes,
+            "seconds": round(self.seconds, 4),
+        }
+        if self.branch_calls:
+            row["branch_calls"] = self.branch_calls
+        if self.peak_memory_bytes:
+            row["peak_memory_mib"] = round(self.peak_memory_bytes / (1024 * 1024), 3)
+        row.update(self.extra)
+        return row
+
+
+def _variant_runner(config: EnumerationConfig) -> Callable[[Graph, int, int], EnumerationResult]:
+    def run(graph: Graph, k: int, q: int) -> EnumerationResult:
+        return KPlexEnumerator(graph, k, q, config).run()
+
+    return run
+
+
+_RUNNERS: Dict[str, Callable[[Graph, int, int], EnumerationResult]] = {
+    ALGORITHM_FP: lambda graph, k, q: FPLike(graph, k, q).run(),
+    ALGORITHM_LISTPLEX: lambda graph, k, q: ListPlexLike(graph, k, q).run(),
+    ALGORITHM_OURS: _variant_runner(EnumerationConfig.ours()),
+    ALGORITHM_OURS_P: _variant_runner(EnumerationConfig.ours_p()),
+    ALGORITHM_BASIC: _variant_runner(EnumerationConfig.basic()),
+    ALGORITHM_BASIC_R1: _variant_runner(EnumerationConfig.basic_with_r1()),
+    ALGORITHM_BASIC_R2: _variant_runner(EnumerationConfig.basic_with_r2()),
+    ALGORITHM_OURS_NO_UB: _variant_runner(EnumerationConfig.without_upper_bound()),
+    ALGORITHM_OURS_FP_UB: _variant_runner(EnumerationConfig.with_fp_upper_bound()),
+}
+
+
+def algorithm_names() -> List[str]:
+    """Names accepted by :func:`run_algorithm`."""
+    return list(_RUNNERS)
+
+
+def run_algorithm(
+    algorithm: str,
+    graph: Graph,
+    dataset: str,
+    k: int,
+    q: int,
+    measure_memory: bool = False,
+) -> RunRecord:
+    """Run one algorithm on one workload and return the measurement record."""
+    try:
+        runner = _RUNNERS[algorithm]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of {sorted(_RUNNERS)}"
+        ) from exc
+
+    peak = 0
+    if measure_memory:
+        tracemalloc.start()
+    started = time.perf_counter()
+    result = runner(graph, k, q)
+    elapsed = time.perf_counter() - started
+    if measure_memory:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+    return RunRecord(
+        algorithm=algorithm,
+        dataset=dataset,
+        k=k,
+        q=q,
+        num_kplexes=result.count,
+        seconds=elapsed,
+        branch_calls=result.statistics.branch_calls,
+        peak_memory_bytes=peak,
+    )
+
+
+def cross_check(records: List[RunRecord]) -> bool:
+    """Return ``True`` when all records of a workload report the same result count.
+
+    The paper verifies that FP, ListPlex and Ours return identical result
+    sets; the experiment tables carry the count so this lighter check can be
+    asserted on every row group.
+    """
+    by_workload: Dict[object, set] = {}
+    for record in records:
+        key = (record.dataset, record.k, record.q)
+        by_workload.setdefault(key, set()).add(record.num_kplexes)
+    return all(len(counts) == 1 for counts in by_workload.values())

@@ -1,0 +1,86 @@
+"""Integer-bitset utilities.
+
+The branch-and-bound search manipulates small dense subgraphs (the seed
+subgraphs ``G_i`` of Algorithm 2).  The fastest pure-Python representation for
+their vertex sets and adjacency rows is an arbitrary-precision integer used as
+a bitset: set membership is a shift-and-mask, intersection is ``&``, union is
+``|``, and cardinality is :meth:`int.bit_count`.  This module collects the
+small helpers used throughout :mod:`repro.core` and :mod:`repro.baselines`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+
+def bit(index: int) -> int:
+    """Return a bitset containing only ``index``."""
+    return 1 << index
+
+
+def mask_from_indices(indices: Iterable[int]) -> int:
+    """Build a bitset from an iterable of non-negative integers."""
+    mask = 0
+    for index in indices:
+        mask |= 1 << index
+    return mask
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the indices of the set bits of ``mask`` in increasing order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def bits_to_list(mask: int) -> List[int]:
+    """Return the indices of the set bits of ``mask`` as a sorted list."""
+    return list(iter_bits(mask))
+
+
+def popcount(mask: int) -> int:
+    """Return the number of set bits in ``mask``."""
+    return mask.bit_count()
+
+
+def contains(mask: int, index: int) -> bool:
+    """Return ``True`` if ``index`` is a member of the bitset ``mask``."""
+    return (mask >> index) & 1 == 1
+
+
+def lowest_bit_index(mask: int) -> int:
+    """Return the index of the lowest set bit of a non-empty ``mask``."""
+    if not mask:
+        raise ValueError("empty bitset has no lowest bit")
+    return (mask & -mask).bit_length() - 1
+
+
+def remove(mask: int, index: int) -> int:
+    """Return ``mask`` with ``index`` cleared (no-op if it was not set)."""
+    return mask & ~(1 << index)
+
+
+def is_subset(inner: int, outer: int) -> bool:
+    """Return ``True`` if every bit of ``inner`` is also set in ``outer``."""
+    return inner & ~outer == 0
+
+
+def subsets_of_size_at_most(mask: int, limit: int) -> Iterator[int]:
+    """Yield every subset of ``mask`` with at most ``limit`` elements.
+
+    The empty subset is always yielded first.  Subsets are produced in a
+    set-enumeration (prefix) order over the bit indices, matching the order in
+    which Algorithm 2 explores the sets ``S`` drawn from the two-hop
+    neighbourhood of a seed vertex.
+    """
+    members = bits_to_list(mask)
+
+    def extend(prefix: int, start: int, remaining: int) -> Iterator[int]:
+        yield prefix
+        if remaining == 0:
+            return
+        for position in range(start, len(members)):
+            yield from extend(prefix | bit(members[position]), position + 1, remaining - 1)
+
+    yield from extend(0, 0, limit)

@@ -1,0 +1,236 @@
+"""Undirected simple graph used throughout the library.
+
+The paper works on undirected, unweighted simple graphs.  :class:`Graph`
+stores such a graph as adjacency sets over a contiguous integer vertex space
+``0 .. n-1`` and keeps an optional mapping back to the caller's original
+vertex labels (SNAP-style files frequently use sparse integer ids).
+
+The class is deliberately immutable after construction: every algorithm in
+the library treats the input graph as read-only, which keeps sharing across
+worker processes and sub-tasks safe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import GraphError
+
+Edge = Tuple[Hashable, Hashable]
+
+
+class Graph:
+    """An immutable undirected simple graph.
+
+    Parameters
+    ----------
+    adjacency:
+        A list of neighbour sets, one per vertex, indexed by the internal
+        vertex id.  The structure must already be symmetric and free of
+        self-loops; use :meth:`from_edges` to build a graph from raw edges.
+    labels:
+        Optional original labels, one per internal vertex id.  When omitted
+        the labels are the internal ids themselves.
+    """
+
+    __slots__ = ("_adjacency", "_labels", "_label_index", "_num_edges")
+
+    def __init__(
+        self,
+        adjacency: Sequence[Iterable[int]],
+        labels: Optional[Sequence[Hashable]] = None,
+    ) -> None:
+        self._adjacency: List[FrozenSet[int]] = [frozenset(neigh) for neigh in adjacency]
+        n = len(self._adjacency)
+        for vertex, neighbours in enumerate(self._adjacency):
+            for other in neighbours:
+                if other < 0 or other >= n:
+                    raise GraphError(f"neighbour {other} of vertex {vertex} is out of range")
+                if other == vertex:
+                    raise GraphError(f"self-loop at vertex {vertex}")
+                if vertex not in self._adjacency[other]:
+                    raise GraphError(f"edge ({vertex}, {other}) is not symmetric")
+        if labels is None:
+            self._labels: List[Hashable] = list(range(n))
+        else:
+            if len(labels) != n:
+                raise GraphError("labels must have one entry per vertex")
+            self._labels = list(labels)
+        self._label_index: Dict[Hashable, int] = {
+            label: index for index, label in enumerate(self._labels)
+        }
+        if len(self._label_index) != n:
+            raise GraphError("vertex labels must be unique")
+        self._num_edges = sum(len(neigh) for neigh in self._adjacency) // 2
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Edge],
+        vertices: Optional[Iterable[Hashable]] = None,
+    ) -> "Graph":
+        """Build a graph from an iterable of edges.
+
+        Duplicate edges and self-loops are silently dropped, matching the
+        preprocessing every k-plex paper applies to the raw SNAP files.
+        ``vertices`` may list isolated vertices (or simply fix the label
+        order); any endpoint not listed is appended in first-seen order.
+        """
+        labels: List[Hashable] = []
+        index: Dict[Hashable, int] = {}
+
+        def intern(label: Hashable) -> int:
+            if label not in index:
+                index[label] = len(labels)
+                labels.append(label)
+            return index[label]
+
+        if vertices is not None:
+            for label in vertices:
+                intern(label)
+        pairs = []
+        for u_label, v_label in edges:
+            u = intern(u_label)
+            v = intern(v_label)
+            if u != v:
+                pairs.append((u, v))
+        adjacency: List[set] = [set() for _ in range(len(labels))]
+        for u, v in pairs:
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+        return cls(adjacency, labels)
+
+    @classmethod
+    def empty(cls, num_vertices: int) -> "Graph":
+        """Return a graph with ``num_vertices`` vertices and no edges."""
+        return cls([set() for _ in range(num_vertices)])
+
+    @classmethod
+    def complete(cls, num_vertices: int) -> "Graph":
+        """Return the complete graph on ``num_vertices`` vertices."""
+        adjacency = [set(range(num_vertices)) - {v} for v in range(num_vertices)]
+        return cls(adjacency)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges ``m``."""
+        return self._num_edges
+
+    def vertices(self) -> Iterator[int]:
+        """Iterate over the internal vertex ids ``0 .. n-1``."""
+        return iter(range(self.num_vertices))
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over edges as ``(u, v)`` pairs with ``u < v``."""
+        for u in range(self.num_vertices):
+            for v in self._adjacency[u]:
+                if u < v:
+                    yield (u, v)
+
+    def neighbors(self, vertex: int) -> FrozenSet[int]:
+        """Return the neighbour set of ``vertex``."""
+        return self._adjacency[vertex]
+
+    def degree(self, vertex: int) -> int:
+        """Return the degree of ``vertex``."""
+        return len(self._adjacency[vertex])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return ``True`` if ``u`` and ``v`` are adjacent."""
+        return v in self._adjacency[u]
+
+    def max_degree(self) -> int:
+        """Return the maximum vertex degree ``Δ`` (0 for an empty graph)."""
+        if self.num_vertices == 0:
+            return 0
+        return max(len(neigh) for neigh in self._adjacency)
+
+    def label(self, vertex: int) -> Hashable:
+        """Return the original label of an internal vertex id."""
+        return self._labels[vertex]
+
+    def labels(self) -> List[Hashable]:
+        """Return the original labels indexed by internal vertex id."""
+        return list(self._labels)
+
+    def index_of(self, label: Hashable) -> int:
+        """Return the internal id of an original vertex label."""
+        try:
+            return self._label_index[label]
+        except KeyError as exc:
+            raise GraphError(f"unknown vertex label: {label!r}") from exc
+
+    # ------------------------------------------------------------------ #
+    # Neighbourhood and subgraph operations
+    # ------------------------------------------------------------------ #
+    def two_hop_neighbors(self, vertex: int) -> FrozenSet[int]:
+        """Return the vertices at distance exactly two from ``vertex``."""
+        direct = self._adjacency[vertex]
+        second = set()
+        for neighbour in direct:
+            second.update(self._adjacency[neighbour])
+        second.discard(vertex)
+        second.difference_update(direct)
+        return frozenset(second)
+
+    def neighborhood_within_two_hops(self, vertex: int) -> FrozenSet[int]:
+        """Return ``{vertex} ∪ N(vertex) ∪ N²(vertex)``."""
+        closed = {vertex}
+        closed.update(self._adjacency[vertex])
+        for neighbour in self._adjacency[vertex]:
+            closed.update(self._adjacency[neighbour])
+        return frozenset(closed)
+
+    def common_neighbors(self, u: int, v: int) -> FrozenSet[int]:
+        """Return ``N(u) ∩ N(v)``."""
+        return self._adjacency[u] & self._adjacency[v]
+
+    def induced_subgraph(self, vertices: Iterable[int]) -> Tuple["Graph", List[int]]:
+        """Return the induced subgraph on ``vertices`` and the vertex map.
+
+        The returned list maps the new internal ids back to the ids in this
+        graph; labels are carried over so results remain addressable by the
+        caller's original identifiers.
+        """
+        kept = sorted(set(vertices))
+        position = {vertex: index for index, vertex in enumerate(kept)}
+        adjacency = [
+            {position[w] for w in self._adjacency[v] if w in position} for v in kept
+        ]
+        labels = [self._labels[v] for v in kept]
+        return Graph(adjacency, labels), kept
+
+    def degrees(self) -> List[int]:
+        """Return all vertex degrees indexed by vertex id."""
+        return [len(neigh) for neigh in self._adjacency]
+
+    # ------------------------------------------------------------------ #
+    # Dunder methods
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __contains__(self, vertex: object) -> bool:
+        return isinstance(vertex, int) and 0 <= vertex < self.num_vertices
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.num_vertices}, m={self.num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._labels == other._labels and self._adjacency == other._adjacency
+
+    def __hash__(self) -> int:
+        return hash((self.num_vertices, self.num_edges))

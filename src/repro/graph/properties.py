@@ -1,0 +1,163 @@
+"""Structural graph properties used by the algorithms and the experiments.
+
+These helpers cover the quantities the paper reports for each dataset
+(Table 2: ``n``, ``m``, maximum degree, degeneracy) and the structural facts
+exploited by the search (diameter of a vertex subset, connectivity,
+common-neighbour counts).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from .core_decomposition import degeneracy
+from .graph import Graph
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Summary statistics of a graph in the shape of a Table 2 row."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    max_degree: int
+    degeneracy: int
+
+    def as_row(self) -> Dict[str, object]:
+        """Return the summary as a plain dictionary (for table rendering)."""
+        return {
+            "network": self.name,
+            "n": self.num_vertices,
+            "m": self.num_edges,
+            "max_degree": self.max_degree,
+            "degeneracy": self.degeneracy,
+        }
+
+
+def summarize(graph: Graph, name: str = "graph") -> GraphSummary:
+    """Compute the Table 2 style summary of ``graph``."""
+    return GraphSummary(
+        name=name,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        max_degree=graph.max_degree(),
+        degeneracy=degeneracy(graph),
+    )
+
+
+def density(graph: Graph) -> float:
+    """Return the edge density ``2m / (n (n - 1))`` (0 for tiny graphs)."""
+    n = graph.num_vertices
+    if n < 2:
+        return 0.0
+    return 2.0 * graph.num_edges / (n * (n - 1))
+
+
+def subset_density(graph: Graph, vertices: Iterable[int]) -> float:
+    """Return the edge density of the subgraph induced by ``vertices``."""
+    members = set(vertices)
+    if len(members) < 2:
+        return 0.0
+    edges = 0
+    for vertex in members:
+        edges += sum(1 for w in graph.neighbors(vertex) if w in members)
+    edges //= 2
+    return 2.0 * edges / (len(members) * (len(members) - 1))
+
+
+def breadth_first_distances(
+    graph: Graph, source: int, allowed: Optional[Set[int]] = None
+) -> Dict[int, int]:
+    """Return BFS distances from ``source`` restricted to ``allowed`` vertices."""
+    if allowed is not None and source not in allowed:
+        return {}
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        vertex = queue.popleft()
+        for neighbour in graph.neighbors(vertex):
+            if allowed is not None and neighbour not in allowed:
+                continue
+            if neighbour not in distances:
+                distances[neighbour] = distances[vertex] + 1
+                queue.append(neighbour)
+    return distances
+
+
+def is_connected_subset(graph: Graph, vertices: Iterable[int]) -> bool:
+    """Return ``True`` if the subgraph induced by ``vertices`` is connected."""
+    members = set(vertices)
+    if not members:
+        return True
+    source = next(iter(members))
+    reached = breadth_first_distances(graph, source, allowed=members)
+    return len(reached) == len(members)
+
+
+def subset_diameter(graph: Graph, vertices: Iterable[int]) -> int:
+    """Return the diameter of the subgraph induced by ``vertices``.
+
+    Returns ``0`` for subsets with at most one vertex and raises
+    :class:`ValueError` when the induced subgraph is disconnected, mirroring
+    the convention used when validating Theorem 3.3.
+    """
+    members = set(vertices)
+    if len(members) <= 1:
+        return 0
+    diameter = 0
+    for vertex in members:
+        distances = breadth_first_distances(graph, vertex, allowed=members)
+        if len(distances) != len(members):
+            raise ValueError("induced subgraph is disconnected; diameter undefined")
+        diameter = max(diameter, max(distances.values()))
+    return diameter
+
+
+def connected_components(graph: Graph) -> List[Set[int]]:
+    """Return the connected components of ``graph`` as vertex sets."""
+    seen: Set[int] = set()
+    components: List[Set[int]] = []
+    for vertex in graph.vertices():
+        if vertex in seen:
+            continue
+        component = set(breadth_first_distances(graph, vertex))
+        seen.update(component)
+        components.append(component)
+    return components
+
+
+def degree_histogram(graph: Graph) -> Dict[int, int]:
+    """Return a mapping ``degree -> number of vertices with that degree``."""
+    histogram: Dict[int, int] = {}
+    for vertex in graph.vertices():
+        degree = graph.degree(vertex)
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return histogram
+
+
+def average_degree(graph: Graph) -> float:
+    """Return the mean vertex degree."""
+    if graph.num_vertices == 0:
+        return 0.0
+    return 2.0 * graph.num_edges / graph.num_vertices
+
+
+def count_common_neighbors(graph: Graph, u: int, v: int, within: Optional[Set[int]] = None) -> int:
+    """Return ``|N(u) ∩ N(v)|``, optionally restricted to ``within``."""
+    common = graph.neighbors(u) & graph.neighbors(v)
+    if within is not None:
+        common = common & within
+    return len(common)
+
+
+def non_neighbors_within(graph: Graph, vertex: int, members: Sequence[int]) -> List[int]:
+    """Return the members of ``members`` not adjacent to ``vertex`` (itself included).
+
+    This matches the paper's ``\\bar d_P(v)`` convention where a vertex counts
+    as its own non-neighbour when it belongs to the set.
+    """
+    neighbours = graph.neighbors(vertex)
+    return [w for w in members if w == vertex or w not in neighbours]

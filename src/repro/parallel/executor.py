@@ -1,0 +1,196 @@
+"""Task-parallel enumeration (Section 6 of the paper).
+
+The parallelisation unit is the *task group* of one seed vertex: building the
+seed subgraph ``G_i`` and mining all of its sub-tasks.  Seeds are processed in
+stages of ``num_workers`` consecutive seeds of the degeneracy ordering, which
+is the paper's scheme for keeping every worker's working set (one seed
+subgraph at a time) small and cache-friendly.
+
+Straggler elimination uses the timeout mechanism of the paper: while mining a
+sub-task, once the elapsed time exceeds ``timeout_seconds`` the searcher stops
+recursing and re-enqueues the pending branch states as fresh tasks.  Inside a
+worker process this bounds the size of any contiguous unit of work; the
+deterministic scheduler in :mod:`repro.parallel.scheduler` additionally models
+the cross-worker stealing the C++ implementation performs, which a Python
+process pool cannot do cheaply.
+
+Both a process pool (true parallelism) and a thread pool (useful for tests
+and for small graphs where process start-up dominates) are supported.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.branch import BranchSearcher, BranchState
+from ..core.config import EnumerationConfig
+from ..core.enumerator import EnumerationResult
+from ..core.kplex import KPlex, validate_parameters
+from ..core.seeds import build_seed_context, iter_subtasks
+from ..core.stats import SearchStatistics
+from ..graph import Graph
+from ..graph.core_decomposition import core_decomposition, shrink_to_core
+
+DEFAULT_TIMEOUT_SECONDS = 1e-4  # the paper's default τ_time = 0.1 ms
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Configuration of the parallel executor.
+
+    Attributes
+    ----------
+    num_workers:
+        Number of worker processes/threads (defaults to the CPU count).
+    timeout_seconds:
+        The straggler timeout ``τ_time``; ``None`` disables task splitting.
+    use_processes:
+        ``True`` for a process pool (real parallelism), ``False`` for threads.
+    stage_size:
+        Number of seeds dispatched per stage; defaults to ``num_workers``,
+        matching the paper's stage construction.
+    enumeration:
+        The sequential algorithm configuration each worker runs.
+    """
+
+    num_workers: int = field(default_factory=lambda: os.cpu_count() or 1)
+    timeout_seconds: Optional[float] = DEFAULT_TIMEOUT_SECONDS
+    use_processes: bool = True
+    stage_size: Optional[int] = None
+    enumeration: EnumerationConfig = field(default_factory=EnumerationConfig.ours)
+
+
+# --------------------------------------------------------------------------- #
+# Worker-side state and functions (module level so they can be pickled)
+# --------------------------------------------------------------------------- #
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _initialise_worker(
+    graph: Graph,
+    k: int,
+    q: int,
+    config: EnumerationConfig,
+    timeout: Optional[float],
+) -> None:
+    """Store the shared read-only state once per worker process."""
+    decomposition = core_decomposition(graph)
+    _WORKER_STATE["graph"] = graph
+    _WORKER_STATE["k"] = k
+    _WORKER_STATE["q"] = q
+    _WORKER_STATE["config"] = config
+    _WORKER_STATE["timeout"] = timeout
+    _WORKER_STATE["position"] = decomposition.position()
+
+
+def _mine_seed(seed_vertex: int) -> Tuple[List[Tuple[int, ...]], Dict[str, float]]:
+    """Mine the whole task group of one seed vertex inside a worker."""
+    graph: Graph = _WORKER_STATE["graph"]  # type: ignore[assignment]
+    k: int = _WORKER_STATE["k"]  # type: ignore[assignment]
+    q: int = _WORKER_STATE["q"]  # type: ignore[assignment]
+    config: EnumerationConfig = _WORKER_STATE["config"]  # type: ignore[assignment]
+    timeout: Optional[float] = _WORKER_STATE["timeout"]  # type: ignore[assignment]
+    position: Sequence[int] = _WORKER_STATE["position"]  # type: ignore[assignment]
+
+    stats = SearchStatistics()
+    results: List[Tuple[int, ...]] = []
+    context = build_seed_context(graph, position, seed_vertex, k, q, config, stats)
+    if context is None:
+        return results, stats.as_dict()
+
+    pending: deque = deque()
+    searcher = BranchSearcher(
+        context,
+        k,
+        q,
+        config,
+        stats,
+        on_result=lambda mask: results.append(
+            tuple(sorted(context.subgraph.parents_of_mask(mask)))
+        ),
+        timeout=timeout,
+        task_sink=pending.append if timeout is not None else None,
+    )
+    for task in iter_subtasks(context, k, q, config, stats):
+        searcher.run_subtask(task)
+        # Straggler decomposition: branch states spilled by the timeout are
+        # re-run as fresh tasks with a new deadline each.
+        while pending:
+            searcher.run_state(pending.popleft())
+    return results, stats.as_dict()
+
+
+def _stats_from_dict(values: Dict[str, float]) -> SearchStatistics:
+    stats = SearchStatistics()
+    for key, value in values.items():
+        if hasattr(stats, key):
+            setattr(stats, key, type(getattr(stats, key))(value))
+    return stats
+
+
+# --------------------------------------------------------------------------- #
+# Driver
+# --------------------------------------------------------------------------- #
+def parallel_enumerate_maximal_kplexes(
+    graph: Graph,
+    k: int,
+    q: int,
+    parallel: Optional[ParallelConfig] = None,
+) -> EnumerationResult:
+    """Enumerate all maximal k-plexes with at least ``q`` vertices in parallel.
+
+    The result is identical (as a set of vertex sets) to the sequential
+    :func:`repro.core.enumerate_maximal_kplexes`; statistics of all workers
+    are merged into a single :class:`SearchStatistics`.
+    """
+    validate_parameters(k, q)
+    parallel = parallel or ParallelConfig()
+    started = time.perf_counter()
+
+    core_graph, core_map = shrink_to_core(graph, q - k)
+    merged_stats = SearchStatistics()
+    kplexes: List[KPlex] = []
+
+    if core_graph.num_vertices >= q:
+        decomposition = core_decomposition(core_graph)
+        seeds = decomposition.order
+        stage = parallel.stage_size or parallel.num_workers
+        executor_class = ProcessPoolExecutor if parallel.use_processes else ThreadPoolExecutor
+        init_args = (core_graph, k, q, parallel.enumeration, parallel.timeout_seconds)
+
+        if parallel.use_processes:
+            pool = executor_class(
+                max_workers=parallel.num_workers,
+                initializer=_initialise_worker,
+                initargs=init_args,
+            )
+        else:
+            _initialise_worker(*init_args)
+            pool = executor_class(max_workers=parallel.num_workers)
+
+        try:
+            for start in range(0, len(seeds), stage):
+                block = seeds[start : start + stage]
+                for seed_results, stats_dict in pool.map(_mine_seed, block):
+                    merged_stats.merge(_stats_from_dict(stats_dict))
+                    for core_vertices in seed_results:
+                        original = [core_map[v] for v in core_vertices]
+                        kplexes.append(KPlex.from_vertices(graph, original, k))
+        finally:
+            pool.shutdown()
+
+    kplexes.sort(key=lambda plex: (plex.size, plex.vertices))
+    merged_stats.elapsed_seconds = time.perf_counter() - started
+    merged_stats.outputs = len(kplexes)
+    return EnumerationResult(
+        kplexes=kplexes,
+        statistics=merged_stats,
+        k=k,
+        q=q,
+        config=parallel.enumeration,
+    )

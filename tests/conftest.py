@@ -1,0 +1,56 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+import pytest
+
+from repro.graph import Graph, generators
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """The triangle graph."""
+    return Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def diamond() -> Graph:
+    """K4 minus one edge (a 4-vertex 2-plex that is not a clique)."""
+    return Graph.from_edges([(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+
+
+@pytest.fixture
+def two_triangles_bridge() -> Graph:
+    """Two triangles joined by a single bridge edge."""
+    return Graph.from_edges([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+
+
+@pytest.fixture
+def figure3_graph() -> Graph:
+    """The running-example graph of the paper (Figure 3)."""
+    return generators.paper_figure3_graph()
+
+
+@pytest.fixture
+def karate_like() -> Graph:
+    """A deterministic 34-vertex social-style graph used by integration tests."""
+    return generators.relaxed_caveman(4, 9, rewire_probability=0.25, seed=5)
+
+
+def random_graph_cases(count: int, max_vertices: int = 13, seed: int = 0) -> List[Graph]:
+    """Deterministic list of small random graphs for oracle comparisons."""
+    rng = random.Random(seed)
+    graphs = []
+    for index in range(count):
+        n = rng.randint(5, max_vertices)
+        p = rng.choice([0.2, 0.35, 0.5, 0.7])
+        graphs.append(generators.erdos_renyi(n, p, seed=seed * 1000 + index))
+    return graphs
+
+
+def vertex_sets(plexes) -> set:
+    """Convert KPlex results to a comparable set of frozensets."""
+    return {frozenset(plex.vertices) for plex in plexes}

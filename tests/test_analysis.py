@@ -1,0 +1,161 @@
+"""Unit tests for verification, metrics and reporting utilities."""
+
+import pytest
+
+from repro.analysis import (
+    cohesion_metrics,
+    compare_algorithm_outputs,
+    coverage,
+    diameter_within_bound,
+    jaccard_similarity,
+    overlap_matrix,
+    rank_by_density,
+    render_ratio_row,
+    render_series,
+    render_table,
+    results_as_sets,
+    size_histogram,
+    verify_results,
+)
+from repro.core import enumerate_maximal_kplexes
+from repro.core.kplex import KPlex
+from repro.graph import Graph, generators
+
+
+@pytest.fixture
+def mined():
+    graph = generators.relaxed_caveman(3, 6, 0.25, seed=60)
+    results = enumerate_maximal_kplexes(graph, 2, 5)
+    return graph, results
+
+
+# --------------------------------------------------------------------------- #
+# Verification
+# --------------------------------------------------------------------------- #
+def test_verify_results_accepts_valid_output(mined):
+    graph, results = mined
+    report = verify_results(graph, results, 2, 5)
+    assert report.ok
+    assert report.total == len(results)
+    assert "verified" in report.summary()
+
+
+def test_verify_results_detects_problems(diamond):
+    valid = KPlex.from_vertices(diamond, [0, 1, 2, 3], 2)
+    not_plex = KPlex.from_vertices(diamond, [0, 3], 1)
+    not_maximal = KPlex.from_vertices(diamond, [1, 2, 3], 2)
+    report = verify_results(diamond, [valid, valid, not_plex, not_maximal], k=2, q=4)
+    assert not report.ok
+    assert report.duplicates
+    assert report.non_maximal
+    assert report.too_small
+    summary = report.summary()
+    assert "not maximal" in summary
+
+
+def test_verify_results_flags_non_kplex(diamond):
+    bogus = KPlex.from_vertices(diamond, [0, 3], 1)  # 0 and 3 are not adjacent
+    report = verify_results(diamond, [bogus], k=1, q=1)
+    assert report.invalid_kplexes
+
+
+def test_compare_algorithm_outputs_agreement(mined):
+    graph, results = mined
+    outputs = {"a": results, "b": list(results)}
+    assert compare_algorithm_outputs(outputs) == {}
+    assert results_as_sets(results)
+
+
+def test_compare_algorithm_outputs_disagreement(mined):
+    _, results = mined
+    outputs = {"full": results, "truncated": results[:-1]}
+    disagreements = compare_algorithm_outputs(outputs)
+    assert "truncated" in disagreements
+    assert len(disagreements["truncated"]) == 1
+
+
+def test_diameter_within_bound(mined):
+    graph, results = mined
+    assert diameter_within_bound(graph, results, 2)
+
+
+# --------------------------------------------------------------------------- #
+# Metrics
+# --------------------------------------------------------------------------- #
+def test_cohesion_metrics_on_clique():
+    graph = Graph.complete(5)
+    metrics = cohesion_metrics(graph, range(5))
+    assert metrics.size == 5
+    assert metrics.density == pytest.approx(1.0)
+    assert metrics.internal_edges == 10
+    assert metrics.minimum_internal_degree == 4
+    assert metrics.diameter == 1
+    assert metrics.boundary_edges == 0
+    assert metrics.boundary_ratio == 0.0
+    assert set(metrics.as_row()) >= {"size", "density", "diameter"}
+
+
+def test_cohesion_metrics_boundary():
+    graph = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+    metrics = cohesion_metrics(graph, [0, 1, 2])
+    assert metrics.boundary_edges == 1
+    assert metrics.boundary_ratio == pytest.approx(1 / 7)
+
+
+def test_rank_by_density_orders_densest_first(mined):
+    graph, results = mined
+    ranked = rank_by_density(graph, results, top=3)
+    densities = [metrics.density for _, metrics in ranked]
+    assert densities == sorted(densities, reverse=True)
+    assert len(ranked) <= 3
+
+
+def test_jaccard_and_overlap_matrix(diamond):
+    first = KPlex.from_vertices(diamond, [0, 1, 2], 2)
+    second = KPlex.from_vertices(diamond, [1, 2, 3], 2)
+    assert jaccard_similarity(first.as_set(), second.as_set()) == pytest.approx(0.5)
+    assert jaccard_similarity(frozenset(), frozenset()) == 1.0
+    matrix = overlap_matrix([first, second])
+    assert matrix[0][0] == 1.0
+    assert matrix[0][1] == pytest.approx(0.5)
+
+
+def test_coverage_and_size_histogram(mined):
+    graph, results = mined
+    assert 0.0 < coverage(graph, results) <= 1.0
+    assert coverage(Graph.empty(0), []) == 0.0
+    histogram = size_histogram(results)
+    assert sum(histogram.values()) == len(results)
+    assert all(size >= 5 for size in histogram)
+
+
+# --------------------------------------------------------------------------- #
+# Reporting
+# --------------------------------------------------------------------------- #
+def test_render_table_alignment():
+    rows = [{"name": "a", "value": 1.23456}, {"name": "bbb", "value": 2}]
+    text = render_table(rows, title="demo")
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert "1.235" in text  # floats use three decimals
+    assert len({len(line) for line in lines[2:]}) <= 2  # consistent width
+
+
+def test_render_table_infers_columns_and_handles_missing():
+    rows = [{"a": 1}, {"b": True}]
+    text = render_table(rows)
+    assert "a" in text and "b" in text and "yes" in text
+
+
+def test_render_series():
+    series = {"Ours": {5: 1.0, 6: 2.0}, "FP": {5: 3.0}}
+    text = render_series(series, x_label="q", title="figure")
+    assert "figure" in text
+    assert "q" in text
+    assert "Ours" in text and "FP" in text
+
+
+def test_render_ratio_row():
+    assert render_ratio_row("speedup", 10.0, 2.0).endswith("5.00x")
+    assert render_ratio_row("speedup", 10.0, 0.0).endswith("n/a")

@@ -1,0 +1,71 @@
+"""Unit tests for the integer-bitset helpers."""
+
+import pytest
+
+from repro.graph import bitset
+
+
+def test_bit_and_contains():
+    mask = bitset.bit(3)
+    assert mask == 0b1000
+    assert bitset.contains(mask, 3)
+    assert not bitset.contains(mask, 2)
+
+
+def test_mask_from_indices_and_back():
+    indices = [0, 2, 5, 63, 130]
+    mask = bitset.mask_from_indices(indices)
+    assert bitset.bits_to_list(mask) == indices
+    assert bitset.popcount(mask) == len(indices)
+
+
+def test_mask_from_indices_duplicates_collapse():
+    assert bitset.mask_from_indices([1, 1, 1]) == 0b10
+
+
+def test_iter_bits_order():
+    mask = 0b101101
+    assert list(bitset.iter_bits(mask)) == [0, 2, 3, 5]
+
+
+def test_iter_bits_empty():
+    assert list(bitset.iter_bits(0)) == []
+
+
+def test_lowest_bit_index():
+    assert bitset.lowest_bit_index(0b101000) == 3
+    with pytest.raises(ValueError):
+        bitset.lowest_bit_index(0)
+
+
+def test_remove_clears_only_target():
+    mask = bitset.mask_from_indices([1, 4, 9])
+    assert bitset.bits_to_list(bitset.remove(mask, 4)) == [1, 9]
+    assert bitset.remove(mask, 7) == mask
+
+
+def test_is_subset():
+    assert bitset.is_subset(0b0101, 0b1101)
+    assert not bitset.is_subset(0b0101, 0b1001)
+    assert bitset.is_subset(0, 0)
+
+
+def test_subsets_of_size_at_most_counts():
+    mask = bitset.mask_from_indices([0, 1, 2, 3])
+    subsets = list(bitset.subsets_of_size_at_most(mask, 2))
+    # 1 empty + 4 singles + 6 pairs
+    assert len(subsets) == 11
+    assert subsets[0] == 0
+    assert len(set(subsets)) == len(subsets)
+    assert all(bitset.popcount(s) <= 2 for s in subsets)
+
+
+def test_subsets_of_size_at_most_zero_limit():
+    mask = bitset.mask_from_indices([2, 7])
+    assert list(bitset.subsets_of_size_at_most(mask, 0)) == [0]
+
+
+def test_subsets_are_subsets_of_mask():
+    mask = bitset.mask_from_indices([1, 3, 4])
+    for subset in bitset.subsets_of_size_at_most(mask, 3):
+        assert bitset.is_subset(subset, mask)

@@ -1,0 +1,150 @@
+"""Unit tests for the upper bounds (Theorems 5.3, 5.5, 5.7 and Lemma 5.12).
+
+Besides the worked examples of the paper, the bounds are validated against
+brute force: for random small seed subgraphs the true maximum k-plex that
+extends the current ``P`` inside ``P ∪ C`` is computed exhaustively and every
+bound must dominate it.
+"""
+
+import itertools
+import random
+
+from repro.core.bounds import (
+    degree_bound,
+    fp_style_bound,
+    pairwise_bound,
+    seed_task_bound,
+    support_bound,
+)
+from repro.core.kplex import is_kplex
+from repro.graph import generators
+from repro.graph.bitset import bits_to_list, iter_bits, mask_from_indices
+from repro.graph.dense import DenseSubgraph
+
+
+def _figure3_subgraph():
+    graph = generators.paper_figure3_graph()
+    order = [graph.index_of(f"v{i}") for i in range(1, 8)]
+    dense = DenseSubgraph(graph, order)
+    # Local indices now follow v1..v7 = 0..6.
+    return graph, dense
+
+
+def test_example_54_degree_bound():
+    """Example 5.4: P = {v1, v3}, k = 2 gives the bound min(3, 2) + 2 = 4."""
+    _, dense = _figure3_subgraph()
+    degrees = [dense.degree(v) for v in range(dense.size)]
+    members = [0, 2]  # v1 and v3
+    assert degrees[0] == 3
+    assert degrees[2] == 2
+    assert degree_bound(degrees, members, k=2) == 4
+
+
+def test_degree_bound_empty_members():
+    _, dense = _figure3_subgraph()
+    degrees = [dense.degree(v) for v in range(dense.size)]
+    assert degree_bound(degrees, [], k=2) == dense.size + 2
+
+
+def test_example_56_support_bound():
+    """Example 5.6: P = {v1, v3}, C = {v2, v5, v7}, pivot v7 gives bound 3."""
+    _, dense = _figure3_subgraph()
+    p_mask = mask_from_indices([0, 2])  # v1, v3
+    c_mask = mask_from_indices([1, 4, 6])  # v2, v5, v7
+    pivot = 6  # v7
+    assert support_bound(dense, p_mask, c_mask, pivot, k=2) == 3
+
+
+def test_fp_style_bound_is_also_a_valid_bound_on_example():
+    _, dense = _figure3_subgraph()
+    p_mask = mask_from_indices([0, 2])
+    c_mask = mask_from_indices([1, 4, 6])
+    assert fp_style_bound(dense, p_mask, c_mask, 6, k=2) >= 3
+
+
+def _maximum_extension_size(dense, p_mask, c_mask, extra, k):
+    """Brute-force maximum k-plex containing ``P ∪ extra`` inside ``P ∪ C``."""
+    base = set(bits_to_list(p_mask)) | set(extra)
+    candidates = [v for v in bits_to_list(c_mask) if v not in extra]
+    graph, mapping = dense.to_graph()
+    best = 0
+    for size in range(len(candidates), -1, -1):
+        for chosen in itertools.combinations(candidates, size):
+            members = base | set(chosen)
+            if is_kplex(graph, members, k):
+                best = max(best, len(members))
+                break
+        if best:
+            break
+    return best
+
+
+def test_support_bound_dominates_brute_force_on_random_subgraphs():
+    rng = random.Random(7)
+    for trial in range(30):
+        graph = generators.erdos_renyi(9, rng.choice([0.4, 0.6]), seed=100 + trial)
+        dense = DenseSubgraph(graph, list(range(9)))
+        k = rng.choice([2, 3])
+        p_vertices = [0, 1]
+        if not is_kplex(graph, p_vertices, k):
+            continue
+        p_mask = mask_from_indices(p_vertices)
+        c_mask = mask_from_indices(range(2, 9))
+        for pivot in iter_bits(c_mask):
+            # The bound targets k-plexes containing P ∪ {pivot}.
+            if not is_kplex(graph, p_vertices + [pivot], k):
+                continue
+            truth = _maximum_extension_size(dense, p_mask, c_mask, [pivot], k)
+            assert support_bound(dense, p_mask, c_mask, pivot, k) >= truth
+            assert fp_style_bound(dense, p_mask, c_mask, pivot, k) >= truth
+            degrees = [dense.degree(v) for v in range(dense.size)]
+            assert degree_bound(degrees, p_vertices + [pivot], k) >= truth
+
+
+def test_seed_task_bound_dominates_brute_force():
+    rng = random.Random(11)
+    checked = 0
+    for trial in range(40):
+        graph = generators.erdos_renyi(9, 0.5, seed=500 + trial)
+        k = 2
+        seed_vertex = 0
+        neighbors = sorted(graph.neighbors(seed_vertex))
+        non_neighbors = [v for v in range(1, 9) if v not in neighbors]
+        if not neighbors or not non_neighbors:
+            continue
+        s_vertex = non_neighbors[0]
+        dense = DenseSubgraph(graph, [seed_vertex] + neighbors + non_neighbors)
+        p_mask = mask_from_indices([dense.local_of(seed_vertex), dense.local_of(s_vertex)])
+        c_mask = mask_from_indices(dense.local_of(v) for v in neighbors)
+        degrees = [dense.degree(v) for v in range(dense.size)]
+        bound = seed_task_bound(dense, dense.local_of(seed_vertex), p_mask, c_mask, degrees, k)
+        truth = _maximum_extension_size(dense, p_mask, c_mask, [], k)
+        if truth == 0:
+            # P_S itself is not extendable into any valid k-plex; the bound
+            # still upper-bounds |P_S|.
+            truth = 2 if is_kplex(graph, [seed_vertex, s_vertex], k) else 0
+        assert bound >= truth
+        checked += 1
+    assert checked >= 10
+
+
+def test_pairwise_bound_dominates_brute_force():
+    rng = random.Random(13)
+    for trial in range(25):
+        graph = generators.erdos_renyi(9, 0.55, seed=900 + trial)
+        k = 2
+        p_vertices = [0, 1, 2]
+        if not is_kplex(graph, p_vertices, k):
+            continue
+        dense = DenseSubgraph(graph, list(range(9)))
+        p_mask = mask_from_indices(p_vertices)
+        c_mask = mask_from_indices(range(3, 9))
+        truth = _maximum_extension_size(dense, p_mask, c_mask, [], k)
+        assert pairwise_bound(dense, p_mask, c_mask, k) >= truth
+
+
+def test_pairwise_bound_small_p_degenerates_gracefully():
+    _, dense = _figure3_subgraph()
+    p_mask = mask_from_indices([0])
+    c_mask = mask_from_indices([1, 4, 6])
+    assert pairwise_bound(dense, p_mask, c_mask, 2) == 1 + 3

@@ -1,0 +1,164 @@
+"""Unit tests for the branch-and-bound search engine (Algorithm 3)."""
+
+from collections import deque
+
+from repro.core.branch import BranchSearcher, BranchState
+from repro.core.config import EnumerationConfig
+from repro.core.kplex import is_kplex, is_maximal_kplex
+from repro.core.seeds import SubTask, build_seed_context, iter_seed_contexts, iter_subtasks
+from repro.core.stats import SearchStatistics
+from repro.graph import generators
+from repro.graph.core_decomposition import core_decomposition
+
+
+def _mine_graph(graph, k, q, config):
+    """Run the full decomposition + branch search, returning result vertex sets."""
+    stats = SearchStatistics()
+    results = set()
+    for _seed, context in iter_seed_contexts(graph, k, q, config, stats):
+        if context is None:
+            continue
+        searcher = BranchSearcher(
+            context,
+            k,
+            q,
+            config,
+            stats,
+            on_result=lambda mask, ctx=context: results.add(
+                frozenset(ctx.subgraph.parents_of_mask(mask))
+            ),
+        )
+        for task in iter_subtasks(context, k, q, config, stats):
+            searcher.run_subtask(task)
+    return results, stats
+
+
+def test_results_are_maximal_kplexes_of_required_size():
+    graph = generators.relaxed_caveman(3, 7, 0.25, seed=3)
+    k, q = 2, 5
+    results, stats = _mine_graph(graph, k, q, EnumerationConfig.ours())
+    assert results
+    assert stats.outputs == len(results)
+    for members in results:
+        assert len(members) >= q
+        assert is_kplex(graph, members, k)
+        assert is_maximal_kplex(graph, members, k)
+
+
+def test_no_duplicate_outputs():
+    graph = generators.erdos_renyi(18, 0.45, seed=10)
+    k, q = 2, 4
+    stats = SearchStatistics()
+    config = EnumerationConfig.ours()
+    outputs = []
+    for _seed, context in iter_seed_contexts(graph, k, q, config, stats):
+        if context is None:
+            continue
+        searcher = BranchSearcher(
+            context,
+            k,
+            q,
+            config,
+            stats,
+            on_result=lambda mask, ctx=context: outputs.append(
+                frozenset(ctx.subgraph.parents_of_mask(mask))
+            ),
+        )
+        for task in iter_subtasks(context, k, q, config, stats):
+            searcher.run_subtask(task)
+    assert len(outputs) == len(set(outputs))
+
+
+def test_upper_bound_pruning_counted_and_harmless():
+    graph = generators.relaxed_caveman(3, 8, 0.3, seed=4)
+    k, q = 2, 7
+    with_ub, stats_with = _mine_graph(graph, k, q, EnumerationConfig.ours())
+    without_ub, stats_without = _mine_graph(graph, k, q, EnumerationConfig.without_upper_bound())
+    assert with_ub == without_ub
+    assert stats_with.branch_calls <= stats_without.branch_calls
+
+
+def test_faplexen_branching_matches_default():
+    graph = generators.erdos_renyi(16, 0.5, seed=11)
+    k, q = 3, 5
+    default, _ = _mine_graph(graph, k, q, EnumerationConfig.ours())
+    faplexen, _ = _mine_graph(graph, k, q, EnumerationConfig.ours_p())
+    assert default == faplexen
+
+
+def test_timeout_spills_pending_states_and_preserves_results():
+    # A dense random graph guarantees deep recursion, so the zero timeout
+    # must spill continuation states.
+    graph = generators.erdos_renyi(18, 0.55, seed=6)
+    k, q = 3, 5
+    config = EnumerationConfig.ours()
+
+    baseline, _ = _mine_graph(graph, k, q, config)
+
+    stats = SearchStatistics()
+    results = set()
+    spilled = 0
+    for _seed, context in iter_seed_contexts(graph, k, q, config, stats):
+        if context is None:
+            continue
+        pending = deque()
+        searcher = BranchSearcher(
+            context,
+            k,
+            q,
+            config,
+            stats,
+            on_result=lambda mask, ctx=context: results.add(
+                frozenset(ctx.subgraph.parents_of_mask(mask))
+            ),
+            timeout=0.0,  # force a split at every recursion step
+            task_sink=pending.append,
+        )
+        for task in iter_subtasks(context, k, q, config, stats):
+            searcher.run_subtask(task)
+            while pending:
+                spilled += 1
+                searcher.run_state(pending.popleft())
+    assert results == baseline
+    assert spilled > 0
+
+
+def test_branch_state_is_frozen_record():
+    state = BranchState(p_mask=1, c_mask=6, x_mask=0, x_external_mask=0, minimum_degree=3)
+    assert state.p_mask == 1
+    assert state.minimum_degree == 3
+
+
+def test_single_subtask_run_on_explicit_context():
+    graph = generators.complete_graph(6)
+    decomposition = core_decomposition(graph)
+    position = decomposition.position()
+    config = EnumerationConfig.ours()
+    stats = SearchStatistics()
+    seed = decomposition.order[0]
+    context = build_seed_context(graph, position, seed, 1, 3, config, stats)
+    assert context is not None
+    results = []
+    searcher = BranchSearcher(
+        context, 1, 3, config, stats,
+        on_result=lambda mask: results.append(context.subgraph.parents_of_mask(mask)),
+    )
+    searcher.run_subtask(
+        SubTask(
+            p_mask=1 << context.seed_local,
+            c_mask=context.candidate_mask,
+            x_mask=context.two_hop_mask,
+            x_external_mask=(1 << len(context.external_vertices)) - 1,
+        )
+    )
+    # The complete graph has exactly one maximal clique: all six vertices.
+    assert len(results) == 1
+    assert sorted(results[0]) == sorted(graph.vertices())
+
+
+def test_statistics_track_pruning_counters():
+    graph = generators.relaxed_caveman(4, 7, 0.3, seed=9)
+    _, stats = _mine_graph(graph, 2, 6, EnumerationConfig.ours())
+    assert stats.branch_calls > 0
+    assert stats.seeds > 0
+    assert stats.subtasks >= stats.seeds

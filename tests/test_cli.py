@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph import generators
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "graph.txt"
+    write_edge_list(generators.ring_of_cliques(2, 6), path)
+    return path
+
+
+def test_enumerate_from_file(graph_file, capsys):
+    exit_code = main(["enumerate", str(graph_file), "-k", "2", "-q", "5"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "maximal 2-plexes" in captured.out
+    assert "size=" in captured.out
+
+
+def test_enumerate_json_output(graph_file, capsys):
+    exit_code = main(["enumerate", str(graph_file), "-k", "1", "-q", "6", "--json"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    payload = json.loads(captured.out)
+    assert payload["count"] == 2
+    assert payload["k"] == 1
+    assert all(len(plex) == 6 for plex in payload["kplexes"])
+
+
+def test_enumerate_with_variant_stats_and_limit(graph_file, capsys):
+    exit_code = main(
+        [
+            "enumerate",
+            str(graph_file),
+            "-k",
+            "2",
+            "-q",
+            "5",
+            "--variant",
+            "basic",
+            "--stats",
+            "--limit",
+            "1",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "SearchStatistics" in captured.out
+
+
+def test_enumerate_bundled_dataset(capsys):
+    exit_code = main(["enumerate", "dataset:jazz", "-k", "2", "-q", "9", "--limit", "2"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "maximal 2-plexes" in captured.out
+
+
+def test_datasets_listing(capsys):
+    exit_code = main(["datasets"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "jazz" in captured.out
+    assert "webbase-2001" in captured.out
+
+
+def test_experiment_table2(capsys):
+    exit_code = main(["experiment", "table2"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "Table 2" in captured.out
+    assert "surrogate_n" in captured.out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["experiment", "table99"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_unknown_variant_rejected(graph_file):
+    with pytest.raises(SystemExit):
+        main(["enumerate", str(graph_file), "-k", "2", "-q", "5", "--variant", "bogus"])
+
+
+def test_enumerate_writes_output_file(graph_file, tmp_path, capsys):
+    output = tmp_path / "results.csv"
+    exit_code = main(
+        ["enumerate", str(graph_file), "-k", "2", "-q", "5", "--output", str(output)]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert output.exists()
+    assert "wrote" in captured.out
+
+
+def test_query_command(graph_file, capsys):
+    exit_code = main(["query", str(graph_file), "0", "-k", "2", "-q", "5"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "containing" in captured.out
+    assert "size=" in captured.out

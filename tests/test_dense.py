@@ -1,0 +1,102 @@
+"""Unit tests for the dense bitset subgraph representation."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import Graph, generators
+from repro.graph.dense import DenseSubgraph, external_adjacency_mask
+
+
+@pytest.fixture
+def parent() -> Graph:
+    return Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (4, 0), (4, 5)])
+
+
+def test_dense_subgraph_adjacency_matches_parent(parent):
+    dense = DenseSubgraph(parent, [0, 1, 2, 3])
+    for u in range(4):
+        for v in range(4):
+            if u == v:
+                continue
+            assert dense.has_edge(u, v) == parent.has_edge(dense.parent_of(u), dense.parent_of(v))
+
+
+def test_degree_and_degree_in(parent):
+    dense = DenseSubgraph(parent, [0, 1, 2, 3])
+    local_zero = dense.local_of(0)
+    assert dense.degree(local_zero) == 3  # 1, 2, 3 inside, vertex 4 excluded
+    mask_12 = dense.mask_of_parents([1, 2])
+    assert dense.degree_in(local_zero, mask_12) == 2
+
+
+def test_non_neighbors_in_counts_self(parent):
+    dense = DenseSubgraph(parent, [0, 1, 2, 3])
+    local_one = dense.local_of(1)
+    all_mask = dense.full_mask
+    # Vertex 1 misses the edge to 3 and counts itself.
+    assert dense.non_neighbors_in(local_one, all_mask) == 2
+
+
+def test_mask_round_trip(parent):
+    dense = DenseSubgraph(parent, [0, 2, 4])
+    mask = dense.mask_of_parents([0, 4])
+    assert sorted(dense.parents_of_mask(mask)) == [0, 4]
+
+
+def test_common_neighbors_count(parent):
+    dense = DenseSubgraph(parent, [0, 1, 2, 3])
+    u = dense.local_of(1)
+    v = dense.local_of(3)
+    assert dense.common_neighbors_count(u, v) == 2  # vertices 0 and 2
+    within = dense.mask_of_parents([0])
+    assert dense.common_neighbors_count(u, v, within=within) == 1
+
+
+def test_restrict(parent):
+    dense = DenseSubgraph(parent, [0, 1, 2, 3])
+    keep = dense.mask_of_parents([0, 1, 2])
+    restricted = dense.restrict(keep)
+    assert restricted.size == 3
+    assert restricted.parent is parent
+    assert sorted(restricted.vertices) == [0, 1, 2]
+
+
+def test_to_graph_round_trip(parent):
+    dense = DenseSubgraph(parent, [0, 1, 2, 3])
+    graph, mapping = dense.to_graph()
+    expected, _ = parent.induced_subgraph([0, 1, 2, 3])
+    assert graph.num_edges == expected.num_edges
+    assert mapping == [0, 1, 2, 3]
+
+
+def test_duplicate_vertices_rejected(parent):
+    with pytest.raises(GraphError):
+        DenseSubgraph(parent, [0, 0, 1])
+
+
+def test_local_of_unknown_vertex_raises(parent):
+    dense = DenseSubgraph(parent, [0, 1])
+    with pytest.raises(GraphError):
+        dense.local_of(3)
+
+
+def test_external_adjacency_mask(parent):
+    dense = DenseSubgraph(parent, [0, 1, 2])
+    mask = external_adjacency_mask(dense, 4)  # vertex 4 is adjacent to 0 only
+    assert dense.parents_of_mask(mask) == [0]
+    assert external_adjacency_mask(dense, 5) == 0
+
+
+def test_repr_mentions_size(parent):
+    dense = DenseSubgraph(parent, [0, 1, 2])
+    assert "size=3" in repr(dense)
+
+
+def test_dense_subgraph_on_random_graph_degrees_match():
+    graph = generators.erdos_renyi(30, 0.3, seed=11)
+    vertices = list(range(0, 30, 2))
+    dense = DenseSubgraph(graph, vertices)
+    induced, mapping = graph.induced_subgraph(vertices)
+    for local, parent_vertex in enumerate(dense.vertices):
+        induced_local = mapping.index(parent_vertex)
+        assert dense.degree(local) == induced.degree(induced_local)

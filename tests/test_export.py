@@ -1,0 +1,83 @@
+"""Tests for exporting and re-importing enumeration results."""
+
+import pytest
+
+from repro.analysis import read_result_sets, write_results
+from repro.core import enumerate_maximal_kplexes
+from repro.errors import FormatError
+from repro.graph import Graph, generators
+
+
+@pytest.fixture
+def results():
+    graph = generators.ring_of_cliques(2, 6)
+    return graph, enumerate_maximal_kplexes(graph, 2, 5)
+
+
+def test_text_round_trip(tmp_path, results):
+    _, plexes = results
+    path = tmp_path / "plexes.txt"
+    assert write_results(plexes, path) == "text"
+    loaded = read_result_sets(path)
+    assert len(loaded) == len(plexes)
+    expected = {tuple(str(v) for v in plex.vertices) for plex in plexes}
+    assert set(loaded) == expected
+
+
+def test_csv_round_trip(tmp_path, results):
+    _, plexes = results
+    path = tmp_path / "plexes.csv"
+    assert write_results(plexes, path) == "csv"
+    loaded = read_result_sets(path)
+    assert len(loaded) == len(plexes)
+
+
+def test_jsonl_round_trip_preserves_vertex_ids(tmp_path, results):
+    _, plexes = results
+    path = tmp_path / "plexes.jsonl"
+    assert write_results(plexes, path) == "jsonl"
+    loaded = read_result_sets(path)
+    assert {tuple(members) for members in loaded} == {plex.vertices for plex in plexes}
+
+
+def test_write_with_internal_ids(tmp_path):
+    graph = Graph.from_edges([("x", "y"), ("y", "z"), ("x", "z")])
+    plexes = enumerate_maximal_kplexes(graph, 1, 3)
+    path = tmp_path / "ids.txt"
+    write_results(plexes, path, use_labels=False)
+    loaded = read_result_sets(path)
+    assert loaded == [("0", "1", "2")]
+
+
+def test_explicit_format_overrides_extension(tmp_path, results):
+    _, plexes = results
+    path = tmp_path / "data.dat"
+    assert write_results(plexes, path, fmt="csv") == "csv"
+    assert read_result_sets(path, fmt="csv")
+
+
+def test_unknown_format_rejected(tmp_path, results):
+    _, plexes = results
+    with pytest.raises(FormatError):
+        write_results(plexes, tmp_path / "x.txt", fmt="parquet")
+
+
+def test_malformed_csv_rejected(tmp_path):
+    path = tmp_path / "broken.csv"
+    path.write_text("a,b\n1,2\n")
+    with pytest.raises(FormatError):
+        read_result_sets(path)
+
+
+def test_malformed_jsonl_rejected(tmp_path):
+    path = tmp_path / "broken.jsonl"
+    path.write_text("{not json}\n")
+    with pytest.raises(FormatError):
+        read_result_sets(path)
+
+
+def test_empty_results_files(tmp_path):
+    for name in ("empty.txt", "empty.csv", "empty.jsonl"):
+        path = tmp_path / name
+        write_results([], path)
+        assert read_result_sets(path) == []

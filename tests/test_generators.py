@@ -1,0 +1,150 @@
+"""Unit tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.core import is_kplex
+from repro.errors import ParameterError
+from repro.graph import generators
+from repro.graph.core_decomposition import degeneracy
+
+
+def test_erdos_renyi_deterministic_and_bounds():
+    first = generators.erdos_renyi(30, 0.3, seed=1)
+    second = generators.erdos_renyi(30, 0.3, seed=1)
+    assert first == second
+    assert first.num_vertices == 30
+    assert 0 < first.num_edges < 30 * 29 // 2
+    with pytest.raises(ParameterError):
+        generators.erdos_renyi(10, 1.5)
+
+
+def test_erdos_renyi_extremes():
+    assert generators.erdos_renyi(8, 0.0, seed=1).num_edges == 0
+    assert generators.erdos_renyi(8, 1.0, seed=1).num_edges == 28
+
+
+def test_gnm_random_exact_edge_count():
+    graph = generators.gnm_random(20, 37, seed=2)
+    assert graph.num_edges == 37
+    with pytest.raises(ParameterError):
+        generators.gnm_random(4, 100)
+
+
+def test_barabasi_albert_structure():
+    graph = generators.barabasi_albert(100, 3, seed=3)
+    assert graph.num_vertices == 100
+    # Every vertex beyond the seed core attaches to exactly 3 targets.
+    assert graph.num_edges >= 3 * (100 - 3) - 5
+    assert graph.max_degree() > 6  # hubs emerge
+    with pytest.raises(ParameterError):
+        generators.barabasi_albert(5, 5)
+
+
+def test_powerlaw_configuration_degree_bounds():
+    graph = generators.powerlaw_configuration(150, exponent=2.3, min_degree=2, max_degree=20, seed=4)
+    assert graph.num_vertices == 150
+    assert graph.max_degree() <= 20
+    with pytest.raises(ParameterError):
+        generators.powerlaw_configuration(10, min_degree=0)
+
+
+def test_relaxed_caveman_deterministic():
+    first = generators.relaxed_caveman(4, 6, 0.2, seed=5)
+    second = generators.relaxed_caveman(4, 6, 0.2, seed=5)
+    assert first == second
+    assert first.num_vertices == 24
+
+
+def test_ring_of_cliques_counts():
+    graph = generators.ring_of_cliques(3, 4)
+    assert graph.num_vertices == 12
+    assert graph.num_edges == 3 * 6 + 3
+    assert degeneracy(graph) == 3
+    with pytest.raises(ParameterError):
+        generators.ring_of_cliques(0, 4)
+
+
+def test_planted_kplex_planted_sets_are_kplexes():
+    k = 2
+    graph = generators.planted_kplex(50, 0.05, 8, k, num_plexes=3, seed=6)
+    for index in range(3):
+        members = set(range(index * 8, (index + 1) * 8))
+        assert is_kplex(graph, members, k)
+    with pytest.raises(ParameterError):
+        generators.planted_kplex(10, 0.1, 8, 2, num_plexes=2)
+    with pytest.raises(ParameterError):
+        generators.planted_kplex(10, 0.1, 1, 2)
+
+
+def test_planted_partition_block_structure():
+    graph = generators.planted_partition(3, 6, p_in=1.0, p_out=0.0, seed=7)
+    assert graph.num_edges == 3 * 15
+    assert is_kplex(graph, set(range(6)), 1)
+
+
+def test_deterministic_small_graphs():
+    assert generators.path_graph(5).num_edges == 4
+    assert generators.cycle_graph(5).num_edges == 5
+    assert generators.star_graph(6).num_edges == 6
+    assert generators.complete_graph(6).num_edges == 15
+    with pytest.raises(ParameterError):
+        generators.cycle_graph(2)
+
+
+def test_complete_multipartite():
+    graph = generators.complete_multipartite([2, 3])
+    assert graph.num_vertices == 5
+    assert graph.num_edges == 6
+    assert not graph.has_edge(0, 1)
+
+
+def test_disjoint_union_sizes():
+    union = generators.disjoint_union([generators.path_graph(3), generators.cycle_graph(4)])
+    assert union.num_vertices == 7
+    assert union.num_edges == 2 + 4
+
+
+def test_paper_figure3_graph_matches_running_examples():
+    graph = generators.paper_figure3_graph()
+    index = {f"v{i}": graph.index_of(f"v{i}") for i in range(1, 8)}
+    # N(v1) = {v2, v5, v7} (Example 5.4: upper bound 3 + k).
+    assert graph.neighbors(index["v1"]) == frozenset(
+        {index["v2"], index["v5"], index["v7"]}
+    )
+    # d(v3) = 2 (Example 5.4: upper bound 2 + k).
+    assert graph.degree(index["v3"]) == 2
+    # v7 is adjacent to v5 but not to v2 or v3 (Example 5.6: K = {v5}).
+    assert graph.has_edge(index["v7"], index["v5"])
+    assert not graph.has_edge(index["v7"], index["v2"])
+    assert not graph.has_edge(index["v7"], index["v3"])
+    # v5 is adjacent to v1 but not v3 (Example 5.6: \bar N_P(v5) = {v3}).
+    assert graph.has_edge(index["v5"], index["v1"])
+    assert not graph.has_edge(index["v5"], index["v3"])
+
+
+def test_watts_strogatz_structure():
+    graph = generators.watts_strogatz(30, 4, 0.1, seed=8)
+    assert graph.num_vertices == 30
+    # Rewiring can only drop duplicate edges, never add beyond the lattice count.
+    assert 0 < graph.num_edges <= 60
+    with pytest.raises(ParameterError):
+        generators.watts_strogatz(10, 3, 0.1)
+    with pytest.raises(ParameterError):
+        generators.watts_strogatz(4, 6, 0.1)
+    with pytest.raises(ParameterError):
+        generators.watts_strogatz(10, 4, 1.5)
+
+
+def test_watts_strogatz_no_rewiring_is_ring_lattice():
+    graph = generators.watts_strogatz(12, 4, 0.0, seed=1)
+    assert graph.num_edges == 24
+    assert all(degree == 4 for degree in graph.degrees())
+
+
+def test_grid_graph_counts():
+    graph = generators.grid_graph(3, 4)
+    assert graph.num_vertices == 12
+    assert graph.num_edges == 3 * 3 + 2 * 4
+    assert degeneracy(graph) == 2
+    with pytest.raises(ParameterError):
+        generators.grid_graph(0, 3)

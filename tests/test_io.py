@@ -1,0 +1,117 @@
+"""Unit tests for graph readers and writers."""
+
+import gzip
+
+import pytest
+
+from repro.errors import FormatError
+from repro.graph import Graph, generators
+from repro.graph.io import (
+    load_graph,
+    parse_edge_list,
+    read_dimacs,
+    read_edge_list,
+    read_metis,
+    write_dimacs,
+    write_edge_list,
+    write_metis,
+)
+
+
+@pytest.fixture
+def sample() -> Graph:
+    return generators.ring_of_cliques(2, 4)
+
+
+def test_edge_list_round_trip(tmp_path, sample):
+    path = tmp_path / "graph.txt"
+    write_edge_list(sample, path)
+    loaded = read_edge_list(path)
+    assert loaded.num_vertices == sample.num_vertices
+    assert loaded.num_edges == sample.num_edges
+
+
+def test_edge_list_comments_and_extra_columns(tmp_path):
+    path = tmp_path / "snap.txt"
+    path.write_text("# SNAP style\n% another comment\n\n1 2 0.5\n2 3 1.0\n")
+    graph = read_edge_list(path)
+    assert graph.num_vertices == 3
+    assert graph.num_edges == 2
+    assert graph.label(0) == 1  # integer labels preserved
+
+
+def test_edge_list_string_labels(tmp_path):
+    path = tmp_path / "named.txt"
+    path.write_text("alice bob\nbob carol\n")
+    graph = read_edge_list(path)
+    assert sorted(graph.labels()) == ["alice", "bob", "carol"]
+
+
+def test_edge_list_gzip(tmp_path, sample):
+    path = tmp_path / "graph.txt.gz"
+    with gzip.open(path, "wt", encoding="utf-8") as handle:
+        for u, v in sample.edges():
+            handle.write(f"{u} {v}\n")
+    loaded = read_edge_list(path)
+    assert loaded.num_edges == sample.num_edges
+
+
+def test_parse_edge_list_rejects_short_lines():
+    with pytest.raises(FormatError):
+        list(parse_edge_list(["1\n"]))
+
+
+def test_dimacs_round_trip(tmp_path, sample):
+    path = tmp_path / "graph.dimacs"
+    write_dimacs(sample, path)
+    loaded = read_dimacs(path)
+    assert loaded.num_vertices == sample.num_vertices
+    assert loaded.num_edges == sample.num_edges
+
+
+def test_dimacs_requires_problem_line(tmp_path):
+    path = tmp_path / "broken.dimacs"
+    path.write_text("e 1 2\n")
+    with pytest.raises(FormatError):
+        read_dimacs(path)
+
+
+def test_dimacs_rejects_unknown_records(tmp_path):
+    path = tmp_path / "broken.dimacs"
+    path.write_text("p edge 2 1\nx 1 2\n")
+    with pytest.raises(FormatError):
+        read_dimacs(path)
+
+
+def test_metis_round_trip(tmp_path, sample):
+    path = tmp_path / "graph.metis"
+    write_metis(sample, path)
+    loaded = read_metis(path)
+    assert loaded.num_vertices == sample.num_vertices
+    assert loaded.num_edges == sample.num_edges
+
+
+def test_metis_rejects_truncated_file(tmp_path):
+    path = tmp_path / "broken.metis"
+    path.write_text("3 2\n2\n")
+    with pytest.raises(FormatError):
+        read_metis(path)
+
+
+def test_load_graph_auto_detection(tmp_path, sample):
+    edge_path = tmp_path / "graph.txt"
+    dimacs_path = tmp_path / "graph.col"
+    metis_path = tmp_path / "graph.metis"
+    write_edge_list(sample, edge_path)
+    write_dimacs(sample, dimacs_path)
+    write_metis(sample, metis_path)
+    for path in (edge_path, dimacs_path, metis_path):
+        assert load_graph(path).num_edges == sample.num_edges
+
+
+def test_load_graph_explicit_format(tmp_path, sample):
+    path = tmp_path / "data.unknown"
+    write_dimacs(sample, path)
+    assert load_graph(path, fmt="dimacs").num_edges == sample.num_edges
+    with pytest.raises(FormatError):
+        load_graph(path, fmt="nope")

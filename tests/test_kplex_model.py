@@ -1,0 +1,141 @@
+"""Unit tests for the k-plex model: definitions, checkers and result records."""
+
+import pytest
+
+from repro.core.kplex import (
+    KPlex,
+    can_extend,
+    deduplicate,
+    is_kplex,
+    is_maximal_kplex,
+    kplex_diameter_ok,
+    non_neighbor_count,
+    saturated_vertices,
+    support_number,
+    validate_parameters,
+    verify_kplex,
+)
+from repro.errors import ParameterError
+from repro.graph import Graph, generators
+
+
+def test_clique_is_kplex_for_all_k():
+    graph = Graph.complete(5)
+    for k in (1, 2, 3):
+        assert is_kplex(graph, range(5), k)
+
+
+def test_definition_counts_self_as_non_neighbor(diamond):
+    # The diamond (K4 minus an edge) is a 2-plex but not a clique.
+    assert is_kplex(diamond, [0, 1, 2, 3], 2)
+    assert not is_kplex(diamond, [0, 1, 2, 3], 1)
+
+
+def test_empty_and_singleton_sets_are_kplexes(triangle):
+    assert is_kplex(triangle, [], 1)
+    assert is_kplex(triangle, [0], 1)
+
+
+def test_two_disjoint_cliques_form_disconnected_kplex():
+    # Two disjoint (k-1)-cliques form a k-plex of size 2k-2 (paper, Section 3).
+    k = 3
+    graph = generators.disjoint_union([Graph.complete(k - 1), Graph.complete(k - 1)])
+    assert is_kplex(graph, range(2 * k - 2), k)
+
+
+def test_hereditary_property_random_graphs():
+    graph = generators.erdos_renyi(12, 0.5, seed=3)
+    for k in (1, 2, 3):
+        members = [v for v in range(12) if v % 2 == 0]
+        if is_kplex(graph, members, k):
+            assert is_kplex(graph, members[:-1], k)
+            assert is_kplex(graph, members[:3], k)
+
+
+def test_can_extend_matches_full_check():
+    graph = generators.erdos_renyi(10, 0.5, seed=5)
+    members = frozenset({0, 1, 2})
+    for k in (1, 2):
+        if not is_kplex(graph, members, k):
+            continue
+        for candidate in range(3, 10):
+            assert can_extend(graph, members, candidate, k) == is_kplex(
+                graph, members | {candidate}, k
+            )
+
+
+def test_can_extend_existing_member_is_trivial(triangle):
+    assert can_extend(triangle, frozenset({0, 1}), 0, 1)
+
+
+def test_is_maximal_kplex(diamond):
+    assert is_maximal_kplex(diamond, [0, 1, 2, 3], 2)
+    assert not is_maximal_kplex(diamond, [0, 1, 2], 2)  # extendable by 3
+    assert is_maximal_kplex(diamond, [0, 1, 2], 1)  # the triangle is a maximal clique
+    assert not is_maximal_kplex(diamond, [0, 3], 1)  # not even a clique
+
+
+def test_non_neighbor_count_and_support(diamond):
+    members = frozenset({0, 1, 2, 3})
+    # Vertex 0 misses vertex 3 and itself.
+    assert non_neighbor_count(diamond, 0, members) == 2
+    assert support_number(diamond, members, 0, k=2) == 0
+    assert support_number(diamond, members, 1, k=2) == 1
+
+
+def test_saturated_vertices(diamond):
+    members = frozenset({0, 1, 2, 3})
+    assert saturated_vertices(diamond, members, 2) == frozenset({0, 3})
+
+
+def test_kplex_diameter_ok(two_triangles_bridge):
+    # A 2-plex with >= 3 vertices must be connected with diameter <= 2.
+    assert kplex_diameter_ok(two_triangles_bridge, [0, 1, 2], 2)
+    # Premise does not apply to small sets.
+    assert kplex_diameter_ok(two_triangles_bridge, [0, 5], 3)
+
+
+def test_validate_parameters():
+    validate_parameters(2, 3)
+    validate_parameters(1, 1)
+    with pytest.raises(ParameterError):
+        validate_parameters(0, 3)
+    with pytest.raises(ParameterError):
+        validate_parameters(2, 0)
+    with pytest.raises(ParameterError):
+        validate_parameters(3, 4)  # q < 2k - 1
+    validate_parameters(3, 4, enforce_diameter_bound=False)
+
+
+def test_verify_kplex_raises_with_reason(diamond):
+    verify_kplex(diamond, [0, 1, 2, 3], 2, q=4)
+    with pytest.raises(AssertionError, match="not a 1-plex"):
+        verify_kplex(diamond, [0, 1, 2, 3], 1)
+    with pytest.raises(AssertionError, match="fewer than q"):
+        verify_kplex(diamond, [0, 1, 2, 3], 2, q=5)
+    with pytest.raises(AssertionError, match="not maximal"):
+        verify_kplex(diamond, [1, 2, 3], 2)
+
+
+def test_kplex_record_round_trip(diamond):
+    plex = KPlex.from_vertices(diamond, [3, 1, 0, 2], k=2)
+    assert plex.vertices == (0, 1, 2, 3)
+    assert plex.size == 4
+    assert len(plex) == 4
+    assert 2 in plex
+    assert list(iter(plex)) == [0, 1, 2, 3]
+    assert plex.as_set() == frozenset({0, 1, 2, 3})
+
+
+def test_kplex_labels_follow_graph_labels():
+    graph = Graph.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+    plex = KPlex.from_vertices(graph, [0, 2], k=1)
+    assert plex.labels == ("a", "c")
+
+
+def test_deduplicate_preserves_order(diamond):
+    first = KPlex.from_vertices(diamond, [0, 1, 2], k=2)
+    second = KPlex.from_vertices(diamond, [2, 1, 0], k=2)
+    third = KPlex.from_vertices(diamond, [1, 2, 3], k=2)
+    unique = deduplicate([first, second, third])
+    assert unique == (first, third)

@@ -1,0 +1,91 @@
+"""Unit tests for structural graph properties."""
+
+import pytest
+
+from repro.graph import Graph, generators
+from repro.graph.properties import (
+    average_degree,
+    breadth_first_distances,
+    connected_components,
+    count_common_neighbors,
+    degree_histogram,
+    density,
+    is_connected_subset,
+    non_neighbors_within,
+    subset_density,
+    subset_diameter,
+    summarize,
+)
+
+
+def test_summarize_reports_table2_columns():
+    graph = generators.ring_of_cliques(2, 4)
+    summary = summarize(graph, name="ring")
+    assert summary.name == "ring"
+    assert summary.num_vertices == 8
+    assert summary.max_degree == 4
+    assert summary.degeneracy == 3
+    row = summary.as_row()
+    assert set(row) == {"network", "n", "m", "max_degree", "degeneracy"}
+
+
+def test_density_bounds():
+    assert density(Graph.complete(6)) == pytest.approx(1.0)
+    assert density(Graph.empty(6)) == 0.0
+    assert density(Graph.empty(1)) == 0.0
+
+
+def test_subset_density():
+    graph = Graph.complete(5)
+    assert subset_density(graph, [0, 1, 2]) == pytest.approx(1.0)
+    assert subset_density(graph, [0]) == 0.0
+
+
+def test_bfs_distances_and_restriction():
+    graph = generators.path_graph(5)
+    distances = breadth_first_distances(graph, 0)
+    assert distances == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+    restricted = breadth_first_distances(graph, 0, allowed={0, 1, 3, 4})
+    assert restricted == {0: 0, 1: 1}
+    assert breadth_first_distances(graph, 0, allowed={1, 2}) == {}
+
+
+def test_is_connected_subset():
+    graph = generators.path_graph(6)
+    assert is_connected_subset(graph, [1, 2, 3])
+    assert not is_connected_subset(graph, [0, 2])
+    assert is_connected_subset(graph, [])
+
+
+def test_subset_diameter():
+    graph = generators.cycle_graph(6)
+    assert subset_diameter(graph, range(6)) == 3
+    assert subset_diameter(graph, [0]) == 0
+    with pytest.raises(ValueError):
+        subset_diameter(graph, [0, 3])
+
+
+def test_connected_components():
+    graph = generators.disjoint_union([Graph.complete(3), generators.path_graph(2)])
+    components = sorted(connected_components(graph), key=len)
+    assert [len(c) for c in components] == [2, 3]
+
+
+def test_degree_histogram_and_average():
+    graph = generators.star_graph(4)
+    assert degree_histogram(graph) == {4: 1, 1: 4}
+    assert average_degree(graph) == pytest.approx(2 * 4 / 5)
+    assert average_degree(Graph.empty(0)) == 0.0
+
+
+def test_count_common_neighbors_with_restriction():
+    graph = Graph.from_edges([(0, 2), (1, 2), (0, 3), (1, 3)], vertices=range(4))
+    assert count_common_neighbors(graph, 0, 1) == 2
+    assert count_common_neighbors(graph, 0, 1, within={2}) == 1
+
+
+def test_non_neighbors_within_counts_self():
+    graph = Graph.from_edges([(0, 1), (1, 2)])
+    assert non_neighbors_within(graph, 1, [0, 1, 2]) == [1]
+    assert non_neighbors_within(graph, 0, [0, 1, 2]) == [0, 2]
+    assert non_neighbors_within(graph, 0, [1]) == []

@@ -1,0 +1,96 @@
+"""Tests for query-anchored enumeration (community search)."""
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_vertex_sets
+from repro.core import (
+    EnumerationConfig,
+    best_community_for,
+    enumerate_kplexes_containing,
+    enumerate_maximal_kplexes,
+)
+from repro.errors import ParameterError
+from repro.graph import Graph, generators
+
+from conftest import random_graph_cases, vertex_sets
+
+
+def test_query_matches_filtered_global_enumeration():
+    graph = generators.relaxed_caveman(3, 7, 0.25, seed=90)
+    k, q = 2, 5
+    everything = enumerate_maximal_kplexes(graph, k, q)
+    for query_vertex in range(0, graph.num_vertices, 5):
+        expected = {frozenset(p.vertices) for p in everything if query_vertex in p.vertices}
+        actual = vertex_sets(enumerate_kplexes_containing(graph, [query_vertex], k, q))
+        assert actual == expected, f"query vertex {query_vertex}"
+
+
+def test_query_matches_brute_force_on_random_graphs():
+    for index, graph in enumerate(random_graph_cases(6, max_vertices=11, seed=91)):
+        k, q = 2, 3
+        oracle = brute_force_vertex_sets(graph, k, q)
+        for query_vertex in range(0, graph.num_vertices, 3):
+            expected = {members for members in oracle if query_vertex in members}
+            actual = vertex_sets(enumerate_kplexes_containing(graph, [query_vertex], k, q))
+            assert actual == expected, f"graph #{index}, query {query_vertex}"
+
+
+def test_query_with_multiple_vertices():
+    graph = generators.planted_kplex(30, 0.05, 8, 2, num_plexes=1, seed=92)
+    k, q = 2, 6
+    # Vertices 0 and 5 belong to the planted structure, so at least one result
+    # must contain both; a planted member and a far-away background vertex
+    # typically cannot co-occur.
+    both = enumerate_kplexes_containing(graph, [0, 5], k, q)
+    assert both
+    for plex in both:
+        assert 0 in plex.vertices and 5 in plex.vertices
+    everything = enumerate_maximal_kplexes(graph, k, q)
+    expected = {frozenset(p.vertices) for p in everything if {0, 5} <= set(p.vertices)}
+    assert vertex_sets(both) == expected
+
+
+def test_query_non_kplex_query_returns_empty():
+    graph = generators.path_graph(8)
+    # Vertices 0 and 7 are far apart: {0, 7} is not a 2-plex of the path.
+    assert enumerate_kplexes_containing(graph, [0, 7], 2, 3) == []
+
+
+def test_query_validations():
+    graph = generators.cycle_graph(6)
+    with pytest.raises(ParameterError):
+        enumerate_kplexes_containing(graph, [], 2, 4)
+    with pytest.raises(ParameterError):
+        enumerate_kplexes_containing(graph, [99], 2, 4)
+    with pytest.raises(ParameterError):
+        enumerate_kplexes_containing(graph, [0, 1, 2, 3, 4], 2, 4)
+    with pytest.raises(ParameterError):
+        enumerate_kplexes_containing(graph, [0], 2, 2)  # q < 2k - 1
+
+
+def test_query_respects_config_variants():
+    graph = generators.relaxed_caveman(3, 6, 0.3, seed=93)
+    k, q = 2, 5
+    reference = vertex_sets(enumerate_kplexes_containing(graph, [0], k, q))
+    for config in (EnumerationConfig.ours_p(), EnumerationConfig.without_upper_bound()):
+        assert vertex_sets(enumerate_kplexes_containing(graph, [0], k, q, config)) == reference
+
+
+def test_best_community_for():
+    graph = generators.planted_kplex(40, 0.04, 9, 2, num_plexes=1, seed=94)
+    best = best_community_for(graph, 3, 2, 6)
+    assert best is not None
+    assert 3 in best.vertices
+    assert best.size >= 8  # recovers (most of) the planted structure
+    # A background vertex far from the planted block has no large community.
+    lonely = best_community_for(generators.path_graph(10), 0, 2, 5)
+    assert lonely is None
+
+
+def test_query_on_labelled_graph():
+    graph = Graph.from_edges(
+        [("a", "b"), ("a", "c"), ("b", "c"), ("b", "d"), ("c", "d"), ("d", "e"), ("e", "a")]
+    )
+    results = enumerate_kplexes_containing(graph, [graph.index_of("a")], 2, 4)
+    assert results
+    assert all("a" in plex.labels for plex in results)

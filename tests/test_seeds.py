@@ -1,0 +1,163 @@
+"""Unit tests for the search-space partitioning (Algorithm 2)."""
+
+from repro.core.config import EnumerationConfig
+from repro.core.seeds import build_seed_context, iter_seed_contexts, iter_subtasks
+from repro.core.stats import SearchStatistics
+from repro.graph import generators
+from repro.graph.bitset import bits_to_list, contains
+from repro.graph.core_decomposition import core_decomposition
+
+
+def _contexts_for(graph, k, q, config=None):
+    config = config or EnumerationConfig.ours()
+    stats = SearchStatistics()
+    contexts = [
+        (seed, context)
+        for seed, context in iter_seed_contexts(graph, k, q, config, stats)
+    ]
+    return contexts, stats
+
+
+def test_seed_contexts_cover_all_seeds_in_order():
+    graph = generators.relaxed_caveman(3, 6, 0.2, seed=1)
+    contexts, _ = _contexts_for(graph, 2, 4)
+    order = core_decomposition(graph).order
+    assert [seed for seed, _ in contexts] == order
+
+
+def test_candidates_are_later_neighbors_of_seed():
+    graph = generators.erdos_renyi(20, 0.3, seed=2)
+    config = EnumerationConfig.ours().with_changes(use_seed_pruning=False)
+    decomposition = core_decomposition(graph)
+    position = decomposition.position()
+    for seed, context in iter_seed_contexts(graph, 2, 3, config, SearchStatistics()):
+        if context is None:
+            continue
+        assert context.subgraph.parent_of(context.seed_local) == seed
+        candidates = context.subgraph.parents_of_mask(context.candidate_mask)
+        for vertex in candidates:
+            assert graph.has_edge(seed, vertex)
+            assert position[vertex] > position[seed]
+        two_hop = context.subgraph.parents_of_mask(context.two_hop_mask)
+        for vertex in two_hop:
+            assert not graph.has_edge(seed, vertex)
+            assert position[vertex] > position[seed]
+
+
+def test_external_vertices_are_earlier_within_two_hops():
+    graph = generators.erdos_renyi(20, 0.3, seed=3)
+    decomposition = core_decomposition(graph)
+    position = decomposition.position()
+    for seed, context in iter_seed_contexts(graph, 2, 3, EnumerationConfig.ours(), SearchStatistics()):
+        if context is None:
+            continue
+        reachable = graph.neighborhood_within_two_hops(seed)
+        for vertex in context.external_vertices:
+            assert position[vertex] < position[seed]
+            assert vertex in reachable
+
+
+def test_small_seed_neighbourhoods_are_skipped():
+    graph = generators.star_graph(5)
+    contexts, stats = _contexts_for(graph, 2, 4)
+    assert all(context is None for _, context in contexts)
+    assert stats.seeds_pruned_empty == graph.num_vertices
+
+
+def test_subtask_counts_respect_k_limit():
+    graph = generators.erdos_renyi(16, 0.4, seed=4)
+    config = EnumerationConfig.ours().with_changes(
+        use_pair_pruning=False, use_seed_upper_bound=False
+    )
+    for k in (1, 2, 3):
+        for seed, context in iter_seed_contexts(graph, k, max(2 * k - 1, 3), config, SearchStatistics()):
+            if context is None:
+                continue
+            tasks = list(iter_subtasks(context, k, max(2 * k - 1, 3), config, SearchStatistics()))
+            seed_bit = 1 << context.seed_local
+            for task in tasks:
+                assert task.p_mask & seed_bit
+                s_mask = task.p_mask & ~seed_bit
+                assert s_mask.bit_count() <= k - 1
+                # S is drawn from the seed's non-neighbours only.
+                assert s_mask & ~context.two_hop_mask == 0
+                # Candidates are always seed neighbours.
+                assert task.c_mask & ~context.candidate_mask == 0
+            # Without pair pruning / R1, the number of sub-tasks equals the
+            # number of subsets of the two-hop set with size < k.
+            two_hop_size = context.two_hop_mask.bit_count()
+            expected = sum(
+                _choose(two_hop_size, size) for size in range(0, k)
+            )
+            assert len(tasks) == expected
+
+
+def _choose(n, r):
+    from math import comb
+
+    return comb(n, r)
+
+
+def test_r1_prunes_subtasks_and_counts_them():
+    graph = generators.relaxed_caveman(4, 7, 0.3, seed=6)
+    k, q = 3, 7
+    config_with = EnumerationConfig.ours().with_changes(use_pair_pruning=False)
+    config_without = config_with.with_changes(use_seed_upper_bound=False)
+    stats_with = SearchStatistics()
+    stats_without = SearchStatistics()
+    with_tasks = 0
+    without_tasks = 0
+    for _seed, context in iter_seed_contexts(graph, k, q, config_with, stats_with):
+        if context is not None:
+            with_tasks += sum(1 for _ in iter_subtasks(context, k, q, config_with, stats_with))
+    for _seed, context in iter_seed_contexts(graph, k, q, config_without, stats_without):
+        if context is not None:
+            without_tasks += sum(
+                1 for _ in iter_subtasks(context, k, q, config_without, stats_without)
+            )
+    assert with_tasks <= without_tasks
+    if with_tasks < without_tasks:
+        assert stats_with.subtasks_pruned_by_seed_bound > 0
+
+
+def test_pair_pruning_shrinks_subtask_candidates():
+    graph = generators.relaxed_caveman(4, 7, 0.3, seed=8)
+    k, q = 2, 6
+    base = EnumerationConfig.ours().with_changes(use_seed_upper_bound=False)
+    no_pairs = base.with_changes(use_pair_pruning=False)
+    total_with = 0
+    total_without = 0
+    for _seed, context in iter_seed_contexts(graph, k, q, base, SearchStatistics()):
+        if context is not None:
+            total_with += sum(
+                task.c_mask.bit_count()
+                for task in iter_subtasks(context, k, q, base, SearchStatistics())
+            )
+    for _seed, context in iter_seed_contexts(graph, k, q, no_pairs, SearchStatistics()):
+        if context is not None:
+            total_without += sum(
+                task.c_mask.bit_count()
+                for task in iter_subtasks(context, k, q, no_pairs, SearchStatistics())
+            )
+    assert total_with <= total_without
+
+
+def test_build_seed_context_returns_none_when_pruned_below_q():
+    graph = generators.path_graph(8)
+    decomposition = core_decomposition(graph)
+    position = decomposition.position()
+    context = build_seed_context(
+        graph, position, decomposition.order[0], 2, 6, EnumerationConfig.ours(), SearchStatistics()
+    )
+    assert context is None
+
+
+def test_degrees_match_subgraph():
+    graph = generators.erdos_renyi(18, 0.35, seed=9)
+    for _seed, context in iter_seed_contexts(graph, 2, 4, EnumerationConfig.ours(), SearchStatistics()):
+        if context is None:
+            continue
+        for local in range(context.subgraph.size):
+            assert context.degrees[local] == context.subgraph.degree(local)
+        if context.pair_ok is not None:
+            assert len(context.pair_ok) == context.subgraph.size

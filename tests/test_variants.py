@@ -1,0 +1,71 @@
+"""All algorithm variants and baselines must return identical result sets.
+
+This is the library's version of the paper's consistency check ("we have
+verified that all three algorithms return the same result set for each
+dataset and parameters").
+"""
+
+import pytest
+
+from repro.baselines import (
+    bron_kerbosch_vertex_sets,
+    fp_vertex_sets,
+    listplex_vertex_sets,
+)
+from repro.baselines.brute_force import brute_force_vertex_sets
+from repro.core import EnumerationConfig, enumerate_maximal_kplexes
+from repro.graph import generators
+
+from conftest import random_graph_cases, vertex_sets
+
+VARIANTS = {
+    "Ours": EnumerationConfig.ours(),
+    "Ours_P": EnumerationConfig.ours_p(),
+    "Basic": EnumerationConfig.basic(),
+    "Basic+R1": EnumerationConfig.basic_with_r1(),
+    "Basic+R2": EnumerationConfig.basic_with_r2(),
+    "Ours\\ub": EnumerationConfig.without_upper_bound(),
+    "Ours\\ub+fp": EnumerationConfig.with_fp_upper_bound(),
+    "no-seed-pruning": EnumerationConfig.ours().with_changes(use_seed_pruning=False),
+}
+
+
+@pytest.mark.parametrize("name,config", sorted(VARIANTS.items()))
+def test_variant_matches_oracle_on_random_graphs(name, config):
+    for index, graph in enumerate(random_graph_cases(8, max_vertices=11, seed=33)):
+        for k in (2, 3):
+            q = 2 * k - 1
+            expected = brute_force_vertex_sets(graph, k, q)
+            actual = vertex_sets(enumerate_maximal_kplexes(graph, k, q, config))
+            assert actual == expected, f"{name} disagrees on graph #{index}, k={k}"
+
+
+@pytest.mark.parametrize("name,config", sorted(VARIANTS.items()))
+def test_variant_matches_default_on_structured_graph(name, config):
+    graph = generators.relaxed_caveman(4, 7, 0.3, seed=44)
+    k, q = 2, 6
+    expected = vertex_sets(enumerate_maximal_kplexes(graph, k, q))
+    actual = vertex_sets(enumerate_maximal_kplexes(graph, k, q, config))
+    assert actual == expected, name
+
+
+def test_baselines_match_default_on_structured_graph():
+    graph = generators.relaxed_caveman(4, 7, 0.3, seed=45)
+    k, q = 2, 6
+    expected = vertex_sets(enumerate_maximal_kplexes(graph, k, q))
+    assert listplex_vertex_sets(graph, k, q) == expected
+    assert fp_vertex_sets(graph, k, q) == expected
+    assert bron_kerbosch_vertex_sets(graph, k, q) == expected
+
+
+def test_all_variants_agree_on_planted_kplex_graph():
+    graph = generators.planted_kplex(40, 0.08, 8, 2, num_plexes=2, seed=46)
+    k, q = 2, 6
+    families = {
+        name: vertex_sets(enumerate_maximal_kplexes(graph, k, q, config))
+        for name, config in VARIANTS.items()
+    }
+    reference = families["Ours"]
+    assert reference  # the planted structures guarantee non-empty results
+    for name, family in families.items():
+        assert family == reference, name

@@ -1,0 +1,29 @@
+# Development entry points. PYTHONPATH is handled for you: pytest picks up
+# src/ via the `pythonpath` setting in pyproject.toml, and the non-pytest
+# targets export it explicitly.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-quick bench-full lint examples
+
+# Tier-1: the full unit/integration suite (collection is configured in
+# pyproject.toml, so plain `python -m pytest` works too).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Reproduce the paper's tables/figures at the quick scale.
+bench-quick:
+	$(PYTHON) -m pytest benchmarks/ -q
+
+bench-full:
+	REPRO_BENCH_SCALE=full $(PYTHON) -m pytest benchmarks/ -q
+
+# Byte-compile every source tree (no third-party linters are vendored in the
+# image) and smoke-import the public API surface.
+lint:
+	$(PYTHON) -m compileall -q src tests examples benchmarks
+	$(PYTHON) -c "import repro, repro.api, repro.cli, repro.experiments, repro.analysis"
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f >/dev/null || exit 1; done; echo "all examples OK"

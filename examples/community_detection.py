@@ -11,9 +11,7 @@ Run with::
     python examples/community_detection.py
 """
 
-from collections import Counter
-
-from repro import enumerate_maximal_kplexes
+from repro import EnumerationRequest, KPlexEngine
 from repro.analysis import jaccard_similarity, size_histogram
 from repro.graph.generators import planted_partition
 
@@ -41,9 +39,18 @@ def main() -> None:
     print(f"Planted-partition graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
     print(f"Ground truth: {num_communities} communities of {size} vertices\n")
 
-    for k in (1, 2, 3):
-        q = max(2 * k - 1, 6)
-        results = enumerate_maximal_kplexes(graph, k=k, q=q)
+    # One batched engine call covers the whole k sweep; responses come back
+    # in request order.
+    engine = KPlexEngine()
+    ks = (1, 2, 3)
+    requests = [
+        EnumerationRequest(graph=graph, k=k, q=max(2 * k - 1, 6)) for k in ks
+    ]
+    responses = engine.solve_batch(requests)
+
+    for k, request, response in zip(ks, requests, responses):
+        q = request.q
+        results = response.kplexes
         recoveries = [best_recovery(results, community) for community in communities]
         histogram = size_histogram(results)
         recovered = sum(1 for score in recoveries if score >= 0.9)

@@ -3,6 +3,9 @@
 Mirrors the paper's sequential evaluation (Table 3) on one surrogate dataset:
 runs FP, ListPlex, Ours_P and Ours plus the ablation variants, checks that
 everyone agrees on the result set, and prints a small comparison table.
+Every measurement dispatches through :class:`repro.api.KPlexEngine` — the
+algorithm labels are translated to solver-registry requests by
+``repro.experiments.request_for_algorithm``.
 
 Run with::
 

@@ -15,9 +15,8 @@ Run with::
 """
 
 import sys
-import time
 
-from repro import enumerate_maximal_kplexes, parallel_enumerate_maximal_kplexes
+from repro import EnumerationRequest, KPlexEngine
 from repro.datasets import load_dataset
 from repro.experiments import measure_parallel_workload
 from repro.parallel import ParallelConfig
@@ -31,19 +30,22 @@ def main() -> None:
     print(f"Dataset {dataset}: {graph.num_vertices} vertices, {graph.num_edges} edges; "
           f"k={k}, q={q}\n")
 
-    started = time.perf_counter()
-    sequential = enumerate_maximal_kplexes(graph, k, q)
-    sequential_seconds = time.perf_counter() - started
-    print(f"Sequential:        {len(sequential):>7} k-plexes in {sequential_seconds:.2f}s")
+    # Same engine, two solvers: sequential "ours" and the task-parallel
+    # executor, dispatched by registry name.
+    engine = KPlexEngine()
+    sequential = engine.solve(EnumerationRequest(graph=graph, k=k, q=q, solver="ours"))
+    print(f"Sequential:        {sequential.count:>7} k-plexes "
+          f"in {sequential.elapsed_seconds:.2f}s")
 
-    started = time.perf_counter()
-    parallel = parallel_enumerate_maximal_kplexes(
-        graph, k, q, ParallelConfig(num_workers=4, use_processes=True)
+    parallel = engine.solve(
+        EnumerationRequest(
+            graph=graph, k=k, q=q, solver="parallel",
+            options={"parallel": ParallelConfig(num_workers=4, use_processes=True)},
+        )
     )
-    parallel_seconds = time.perf_counter() - started
     same = {p.as_set() for p in sequential} == {p.as_set() for p in parallel.kplexes}
-    print(f"Parallel (4 proc): {parallel.count:>7} k-plexes in {parallel_seconds:.2f}s "
-          f"(results identical: {same})\n")
+    print(f"Parallel (4 proc): {parallel.count:>7} k-plexes "
+          f"in {parallel.elapsed_seconds:.2f}s (results identical: {same})\n")
 
     measurement = measure_parallel_workload("Ours", graph, k, q)
     print("Deterministic scheduler model (measured task costs):")

@@ -13,7 +13,7 @@ Run with::
     python examples/protein_complexes.py
 """
 
-from repro import KPlexEnumerator
+from repro import EnumerationRequest, KPlexEngine
 from repro.analysis import cohesion_metrics, coverage, rank_by_density
 from repro.graph.generators import planted_kplex
 
@@ -33,8 +33,7 @@ def main() -> None:
     print(f"Synthetic PPI network: {graph.num_vertices} proteins, {graph.num_edges} interactions")
 
     k, q = 2, 6
-    enumerator = KPlexEnumerator(graph, k=k, q=q)
-    result = enumerator.run()
+    result = KPlexEngine().solve(EnumerationRequest(graph=graph, k=k, q=q))
     print(f"Candidate complexes (maximal {k}-plexes, >= {q} proteins): {result.count}")
     print(f"Fraction of proteins covered by at least one candidate: "
           f"{coverage(graph, result.kplexes):.2f}\n")

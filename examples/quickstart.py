@@ -4,13 +4,19 @@ Run with::
 
     python examples/quickstart.py
 
-The example builds a small social-style graph, enumerates all maximal
-2-plexes with at least 5 vertices, verifies them, and prints them together
-with the search statistics — the 60-second tour of the public API.
+The example builds a small social-style graph and mines it twice:
+
+1. through the recommended :class:`repro.KPlexEngine` request/response API
+   (solver registry, streaming, statistics, termination reason);
+2. through the preserved legacy one-call API
+   (:class:`repro.KPlexEnumerator` / ``enumerate_maximal_kplexes``), which is
+   now a thin shim over the same engine.
+
+— the 60-second tour of the public API.
 """
 
-from repro import Graph, KPlexEnumerator
-from repro.analysis import cohesion_metrics, verify_results
+from repro import EnumerationRequest, Graph, KPlexEngine, KPlexEnumerator, solver_names
+from repro.analysis import cohesion_metrics, verify_response
 
 
 def build_example_graph() -> Graph:
@@ -46,19 +52,37 @@ def main() -> None:
     graph = build_example_graph()
     k, q = 2, 5
 
-    enumerator = KPlexEnumerator(graph, k=k, q=q)
-    result = enumerator.run()
+    # ------------------------------------------------------------------ #
+    # The engine API: one facade over every registered solver.
+    # ------------------------------------------------------------------ #
+    engine = KPlexEngine()
+    print(f"Registered solvers: {', '.join(solver_names())}")
+
+    request = EnumerationRequest(graph=graph, k=k, q=q, solver="ours")
+    response = engine.solve(request)
 
     print(f"Graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
-    print(f"Maximal {k}-plexes with at least {q} vertices: {result.count}")
-    for plex in result:
+    print(f"Maximal {k}-plexes with at least {q} vertices: {response.count}")
+    for plex in response:
         metrics = cohesion_metrics(graph, plex.vertices)
         members = ", ".join(str(label) for label in plex.labels)
         print(f"  size={plex.size} density={metrics.density:.2f}  [{members}]")
 
-    report = verify_results(graph, result.kplexes, k, q)
+    report = verify_response(response)
     print(f"Verification: {report.summary()}")
-    print(f"Search statistics: {result.statistics}")
+    print(f"Search statistics: {response.statistics}")
+    print(f"Termination: {response.termination} after {response.elapsed_seconds:.4f}s")
+
+    # Streaming: results arrive lazily, here with a result budget of one.
+    first = next(engine.stream(request))
+    print(f"First streamed result: {sorted(str(l) for l in first.labels)}")
+
+    # ------------------------------------------------------------------ #
+    # The legacy API still works — it is a shim over the engine.
+    # ------------------------------------------------------------------ #
+    legacy = KPlexEnumerator(graph, k=k, q=q).run()
+    same = {p.as_set() for p in legacy.kplexes} == {p.as_set() for p in response.kplexes}
+    print(f"Legacy KPlexEnumerator returns the identical result set: {same}")
 
 
 if __name__ == "__main__":

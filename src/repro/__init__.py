@@ -2,7 +2,17 @@
 
 Public API
 ----------
-The most common entry points are re-exported at the package root:
+The recommended entry point is the engine facade in :mod:`repro.api`:
+
+* :class:`repro.KPlexEngine` — ``solve()`` / ``stream()`` / ``count()`` /
+  ``solve_batch()`` over every registered solver;
+* :class:`repro.EnumerationRequest` / :class:`repro.EnumerationResponse` —
+  the validated request and the self-describing response;
+* :func:`repro.solver_names` / :func:`repro.register_solver` — the pluggable
+  solver registry (``"ours"``, ``"fp"``, ``"listplex"``, ``"bron-kerbosch"``,
+  ``"brute-force"``, ``"parallel"``, ...).
+
+The original functional API is preserved as thin shims over the engine:
 
 * :class:`repro.Graph` — the undirected simple graph type.
 * :func:`repro.enumerate_maximal_kplexes` — run the paper's algorithm (``Ours``).
@@ -16,8 +26,15 @@ The most common entry points are re-exported at the package root:
 
 Quick start
 -----------
->>> from repro import Graph, enumerate_maximal_kplexes
+>>> from repro import Graph, KPlexEngine, EnumerationRequest
 >>> graph = Graph.from_edges([(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+>>> response = KPlexEngine().solve(EnumerationRequest(graph=graph, k=2, q=3))
+>>> sorted(sorted(p.vertices) for p in response.kplexes)
+[[0, 1, 2, 3]]
+
+or, with the legacy one-call API:
+
+>>> from repro import enumerate_maximal_kplexes
 >>> plexes = enumerate_maximal_kplexes(graph, k=2, q=3)
 >>> sorted(sorted(p.vertices) for p in plexes)
 [[0, 1, 2, 3]]
@@ -39,8 +56,19 @@ from .core import (
 from .errors import DatasetError, FormatError, GraphError, ParameterError, ReproError
 from .graph import Graph
 from .parallel import ParallelConfig, parallel_enumerate_maximal_kplexes
+from .api import (
+    CancellationToken,
+    EnumerationRequest,
+    EnumerationResponse,
+    KPlexEngine,
+    ProgressEvent,
+    Solver,
+    get_solver,
+    register_solver,
+    solver_names,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Graph",
@@ -49,6 +77,15 @@ __all__ = [
     "EnumerationConfig",
     "EnumerationResult",
     "SearchStatistics",
+    "KPlexEngine",
+    "EnumerationRequest",
+    "EnumerationResponse",
+    "CancellationToken",
+    "ProgressEvent",
+    "Solver",
+    "register_solver",
+    "get_solver",
+    "solver_names",
     "enumerate_maximal_kplexes",
     "count_maximal_kplexes",
     "enumerate_kplexes_containing",

@@ -22,6 +22,7 @@ from .verification import (
     compare_algorithm_outputs,
     diameter_within_bound,
     results_as_sets,
+    verify_response,
     verify_results,
 )
 
@@ -33,6 +34,7 @@ __all__ = [
     "FORMAT_JSONL",
     "VerificationReport",
     "verify_results",
+    "verify_response",
     "results_as_sets",
     "compare_algorithm_outputs",
     "diameter_within_bound",

@@ -52,9 +52,12 @@ def write_results(
 ) -> str:
     """Write ``results`` to ``path``; returns the format actually used.
 
-    ``use_labels`` selects between the caller-facing labels (default) and the
-    internal vertex ids.
+    ``results`` may be a sequence of :class:`KPlex` records or anything with
+    a ``kplexes`` attribute (the legacy ``EnumerationResult`` and the
+    engine's ``EnumerationResponse``).  ``use_labels`` selects between the
+    caller-facing labels (default) and the internal vertex ids.
     """
+    results = getattr(results, "kplexes", results)
     chosen = _detect_format(path, fmt)
     path = Path(path)
     if chosen == FORMAT_TEXT:

@@ -88,6 +88,22 @@ def results_as_sets(results: Iterable[KPlex]) -> Set[FrozenSet[int]]:
     return {plex.as_set() for plex in results}
 
 
+def verify_response(response, check_connectivity: bool = True) -> VerificationReport:
+    """Verify an :class:`repro.api.EnumerationResponse` in place.
+
+    Convenience wrapper around :func:`verify_results` that pulls the graph
+    and parameters out of the response's request, so engine consumers can
+    write ``verify_response(engine.solve(request))``.
+    """
+    return verify_results(
+        response.request.graph,
+        response.kplexes,
+        response.k,
+        response.q,
+        check_connectivity=check_connectivity,
+    )
+
+
 def compare_algorithm_outputs(
     outputs: Dict[str, Iterable[KPlex]],
 ) -> Dict[str, Set[FrozenSet[int]]]:

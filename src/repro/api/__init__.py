@@ -1,0 +1,66 @@
+"""Unified request/response API over every enumeration backend.
+
+The subsystem has four parts:
+
+* :class:`EnumerationRequest` / :class:`EnumerationResponse` — the validated
+  request and the self-describing response (results, statistics, timing,
+  termination reason);
+* the solver registry (:func:`register_solver`, :func:`get_solver`,
+  :func:`solver_names`) — pluggable backends behind one :class:`Solver`
+  interface;
+* the built-in solver adapters (``ours`` and its ablation variants, ``fp``,
+  ``listplex``, ``bron-kerbosch``, ``brute-force``, ``parallel``);
+* :class:`KPlexEngine` — the facade with ``solve`` / ``stream`` / ``count``
+  / ``solve_batch``.
+
+Quick start
+-----------
+>>> from repro import Graph
+>>> from repro.api import EnumerationRequest, KPlexEngine
+>>> graph = Graph.from_edges([(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+>>> engine = KPlexEngine()
+>>> response = engine.solve(EnumerationRequest(graph=graph, k=2, q=3))
+>>> response.count
+1
+"""
+
+from .engine import CancellationToken, KPlexEngine, ProgressEvent
+from .registry import (
+    Solver,
+    SolverRun,
+    get_solver,
+    register_solver,
+    solver_names,
+    solver_table,
+    unregister_solver,
+)
+from .request import DEFAULT_SOLVER, EnumerationRequest
+from .response import (
+    TERMINATION_CANCELLED,
+    TERMINATION_COMPLETED,
+    TERMINATION_REASONS,
+    TERMINATION_RESULT_LIMIT,
+    TERMINATION_TIMEOUT,
+    EnumerationResponse,
+)
+
+__all__ = [
+    "KPlexEngine",
+    "CancellationToken",
+    "ProgressEvent",
+    "EnumerationRequest",
+    "EnumerationResponse",
+    "DEFAULT_SOLVER",
+    "Solver",
+    "SolverRun",
+    "register_solver",
+    "unregister_solver",
+    "get_solver",
+    "solver_names",
+    "solver_table",
+    "TERMINATION_COMPLETED",
+    "TERMINATION_TIMEOUT",
+    "TERMINATION_CANCELLED",
+    "TERMINATION_RESULT_LIMIT",
+    "TERMINATION_REASONS",
+]

@@ -1,0 +1,145 @@
+"""The request side of the engine API.
+
+:class:`EnumerationRequest` is the single place where enumeration parameters
+are validated: ``k``/``q`` positivity, the optional query anchor, the solver
+configuration and the execution budget (timeout / result limit) are all
+checked at construction time, so every consumer — CLI, experiment runner,
+examples, library callers — shares one validation path instead of
+re-implementing it.  Solver-*specific* requirements (the ``q >= 2k - 1``
+diameter bound of the decomposed algorithms, brute-force size limits) are
+enforced by the solver the request is dispatched to, because they depend on
+which algorithm runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..core.config import NAMED_VARIANTS, EnumerationConfig
+from ..core.kplex import validate_parameters, validate_query_vertices
+from ..errors import ParameterError
+from ..graph import Graph
+
+DEFAULT_SOLVER = "ours"
+
+
+@dataclass(frozen=True)
+class EnumerationRequest:
+    """One unit of work for :class:`~repro.api.engine.KPlexEngine`.
+
+    Attributes
+    ----------
+    graph:
+        The input graph.
+    k:
+        The k-plex relaxation parameter (``k = 1`` gives maximal cliques).
+    q:
+        Minimum result size.  Whether ``q >= 2k - 1`` is required depends on
+        the solver (the decomposed algorithms need it, the Bron–Kerbosch and
+        brute-force oracles do not).
+    solver:
+        Registry name of the solver to run (see
+        :func:`~repro.api.registry.solver_names`).
+    variant:
+        Optional named configuration variant (``"ours"``, ``"basic"``, ...)
+        for configuration-driven solvers; mutually exclusive with ``config``.
+    config:
+        Optional explicit :class:`EnumerationConfig` override.
+    query_vertices:
+        Optional anchor vertices: restrict the enumeration to maximal
+        k-plexes containing all of them (community search).  Only supported
+        by solvers whose ``supports_query`` capability is set.
+    timeout_seconds:
+        Soft wall-clock budget; the engine stops the run (termination reason
+        ``"timeout"``) the next time control returns between results.
+    max_results:
+        Stop after this many results (termination reason ``"result-limit"``).
+    sort_results:
+        Sort collected results by ``(size, vertices)`` in
+        :meth:`KPlexEngine.solve` (streaming order is always the solver's
+        natural order).
+    options:
+        Free-form solver-specific options (e.g. ``num_workers`` or
+        ``use_processes`` for the parallel solver).
+    """
+
+    graph: Graph
+    k: int
+    q: int
+    solver: str = DEFAULT_SOLVER
+    variant: Optional[str] = None
+    config: Optional[EnumerationConfig] = None
+    query_vertices: Optional[Tuple[int, ...]] = None
+    timeout_seconds: Optional[float] = None
+    max_results: Optional[int] = None
+    sort_results: bool = True
+    options: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.graph, Graph):
+            raise ParameterError(
+                f"graph must be a repro.Graph, got {type(self.graph).__name__}"
+            )
+        # Canonical k/q validation; the q >= 2k - 1 diameter bound is checked
+        # by the solver at dispatch time because not every solver needs it.
+        validate_parameters(self.k, self.q, enforce_diameter_bound=False)
+        if self.variant is not None and self.config is not None:
+            raise ParameterError("pass either variant or config, not both")
+        if self.variant is not None and self.variant.strip().lower() not in NAMED_VARIANTS:
+            known = ", ".join(sorted(NAMED_VARIANTS))
+            raise ParameterError(
+                f"unknown variant {self.variant!r}; known variants: {known}"
+            )
+        if self.query_vertices is not None:
+            object.__setattr__(
+                self,
+                "query_vertices",
+                validate_query_vertices(self.graph, self.query_vertices, self.q),
+            )
+        if self.timeout_seconds is not None and self.timeout_seconds < 0:
+            raise ParameterError(
+                f"timeout_seconds must be non-negative, got {self.timeout_seconds}"
+            )
+        if self.max_results is not None and self.max_results < 1:
+            raise ParameterError(
+                f"max_results must be a positive integer, got {self.max_results}"
+            )
+        if not isinstance(self.solver, str) or not self.solver.strip():
+            raise ParameterError("solver must be a non-empty registry name")
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+    def resolved_config(self) -> Optional[EnumerationConfig]:
+        """The effective :class:`EnumerationConfig` override, if any."""
+        if self.config is not None:
+            return self.config
+        if self.variant is not None:
+            return NAMED_VARIANTS[self.variant.strip().lower()]()
+        return None
+
+    def with_changes(self, **changes: object) -> "EnumerationRequest":
+        """Return a copy of the request with the given fields replaced."""
+        return replace(self, **changes)
+
+    def describe(self) -> Dict[str, object]:
+        """Loggable summary of the request (no graph payload)."""
+        summary: Dict[str, object] = {
+            "solver": self.solver,
+            "k": self.k,
+            "q": self.q,
+            "vertices": self.graph.num_vertices,
+            "edges": self.graph.num_edges,
+        }
+        if self.variant is not None:
+            summary["variant"] = self.variant
+        if self.config is not None:
+            summary["config"] = self.config.label
+        if self.query_vertices is not None:
+            summary["query_vertices"] = list(self.query_vertices)
+        if self.timeout_seconds is not None:
+            summary["timeout_seconds"] = self.timeout_seconds
+        if self.max_results is not None:
+            summary["max_results"] = self.max_results
+        return summary

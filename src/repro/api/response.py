@@ -1,0 +1,100 @@
+"""The response side of the engine API.
+
+:class:`EnumerationResponse` carries everything a caller needs to consume a
+finished run: the k-plexes, the merged :class:`SearchStatistics`, wall-clock
+timing, which solver produced them, solver-specific metadata, and *why* the
+run ended (completed / timeout / cancelled / result-limit) — the contract a
+service endpoint can serialise directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from ..core.kplex import KPlex
+from ..core.stats import SearchStatistics
+from .request import EnumerationRequest
+
+TERMINATION_COMPLETED = "completed"
+TERMINATION_TIMEOUT = "timeout"
+TERMINATION_CANCELLED = "cancelled"
+TERMINATION_RESULT_LIMIT = "result-limit"
+
+TERMINATION_REASONS = (
+    TERMINATION_COMPLETED,
+    TERMINATION_TIMEOUT,
+    TERMINATION_CANCELLED,
+    TERMINATION_RESULT_LIMIT,
+)
+
+
+@dataclass
+class EnumerationResponse:
+    """Outcome of one :meth:`~repro.api.engine.KPlexEngine.solve` call."""
+
+    kplexes: List[KPlex]
+    statistics: SearchStatistics
+    request: EnumerationRequest
+    solver: str
+    termination: str = TERMINATION_COMPLETED
+    elapsed_seconds: float = 0.0
+    solver_metadata: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors mirroring the legacy EnumerationResult
+    # ------------------------------------------------------------------ #
+    @property
+    def count(self) -> int:
+        """Number of maximal k-plexes found."""
+        return len(self.kplexes)
+
+    @property
+    def k(self) -> int:
+        """The relaxation parameter the run used."""
+        return self.request.k
+
+    @property
+    def q(self) -> int:
+        """The size threshold the run used."""
+        return self.request.q
+
+    @property
+    def completed(self) -> bool:
+        """``True`` when the run exhausted the search space."""
+        return self.termination == TERMINATION_COMPLETED
+
+    def vertex_sets(self) -> List[Tuple[int, ...]]:
+        """Return the result vertex sets (sorted tuples of input-graph ids)."""
+        return [plex.vertices for plex in self.kplexes]
+
+    def __iter__(self) -> Iterator[KPlex]:
+        return iter(self.kplexes)
+
+    def __len__(self) -> int:
+        return len(self.kplexes)
+
+    def as_dict(self, include_results: bool = True) -> Dict[str, object]:
+        """JSON-serialisable summary (the CLI's ``--json`` payload)."""
+        payload: Dict[str, object] = {
+            "solver": self.solver,
+            "k": self.k,
+            "q": self.q,
+            "count": self.count,
+            "termination": self.termination,
+            "elapsed_seconds": self.elapsed_seconds,
+            "statistics": self.statistics.as_dict(),
+        }
+        payload.update(
+            {f"solver_{key}": value for key, value in self.solver_metadata.items()}
+        )
+        if include_results:
+            payload["kplexes"] = [list(plex.labels) for plex in self.kplexes]
+        return payload
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.count} maximal {self.k}-plexes (>= {self.q} vertices) "
+            f"via {self.solver} in {self.elapsed_seconds:.3f}s [{self.termination}]"
+        )

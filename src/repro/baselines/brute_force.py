@@ -13,7 +13,7 @@ from typing import FrozenSet, List, Set
 
 from ..errors import ParameterError
 from ..graph import Graph
-from ..core.kplex import KPlex, can_extend, is_kplex
+from ..core.kplex import KPlex, can_extend, is_kplex, validate_parameters
 
 MAX_BRUTE_FORCE_VERTICES = 22
 
@@ -29,8 +29,7 @@ def brute_force_maximal_kplexes(graph: Graph, k: int, q: int) -> List[KPlex]:
             f"brute force oracle refuses graphs with more than "
             f"{MAX_BRUTE_FORCE_VERTICES} vertices (got {graph.num_vertices})"
         )
-    if k < 1 or q < 1:
-        raise ParameterError("k and q must be positive")
+    validate_parameters(k, q, enforce_diameter_bound=False)
 
     vertices = list(graph.vertices())
     results: List[FrozenSet[int]] = []

@@ -19,7 +19,7 @@ The re-implementation below reuses the shared branch-and-bound engine with
 from __future__ import annotations
 
 import time
-from typing import FrozenSet, List, Optional, Sequence, Set
+from typing import FrozenSet, Iterator, List, Optional, Sequence, Set
 
 from ..core.branch import BranchSearcher
 from ..core.config import UPPER_BOUND_FP, EnumerationConfig
@@ -114,10 +114,16 @@ class FPLike:
         self.statistics = SearchStatistics()
         self._core_graph, self._core_map = shrink_to_core(graph, q - k)
 
-    def run(self) -> EnumerationResult:
-        """Enumerate all maximal k-plexes with at least ``q`` vertices."""
+    def iter_results(self) -> Iterator[KPlex]:
+        """Lazily yield maximal k-plexes, one seed's task group at a time."""
         started = time.perf_counter()
-        results: List[KPlex] = []
+        try:
+            yield from self._iter_results_inner()
+        finally:
+            # Abandoned generators (cancellation, budgets) still record time.
+            self.statistics.elapsed_seconds += time.perf_counter() - started
+
+    def _iter_results_inner(self) -> Iterator[KPlex]:
         core = self._core_graph
         if core.num_vertices >= self.q:
             decomposition = core_decomposition(core)
@@ -129,13 +135,14 @@ class FPLike:
                 if context is None:
                     continue
                 self.statistics.subtasks += 1
+                found: List[KPlex] = []
                 searcher = BranchSearcher(
                     context,
                     self.k,
                     self.q,
                     self.config,
                     self.statistics,
-                    on_result=lambda mask, ctx=context: results.append(
+                    on_result=lambda mask, ctx=context, sink=found: sink.append(
                         self._translate(ctx, mask)
                     ),
                 )
@@ -147,8 +154,12 @@ class FPLike:
                         x_external_mask=(1 << len(context.external_vertices)) - 1,
                     )
                 )
+                yield from found
+
+    def run(self) -> EnumerationResult:
+        """Enumerate all maximal k-plexes with at least ``q`` vertices."""
+        results = list(self.iter_results())
         results.sort(key=lambda plex: (plex.size, plex.vertices))
-        self.statistics.elapsed_seconds = time.perf_counter() - started
         return EnumerationResult(
             kplexes=results,
             statistics=self.statistics,

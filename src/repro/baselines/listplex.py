@@ -42,6 +42,10 @@ class ListPlexLike:
         """Search statistics of the underlying engine."""
         return self.enumerator.statistics
 
+    def iter_results(self):
+        """Lazily yield maximal k-plexes (delegates to the shared engine)."""
+        return self.enumerator.iter_results()
+
     def run(self) -> EnumerationResult:
         """Enumerate all maximal k-plexes with at least ``q`` vertices."""
         return self.enumerator.run()

@@ -1,10 +1,14 @@
 """Command-line interface.
 
 ``kplex-enum`` exposes the main capabilities of the library without writing
-any Python:
+any Python; every mining command is routed through the
+:class:`repro.api.KPlexEngine` facade:
 
 * ``kplex-enum enumerate GRAPH -k 2 -q 10`` — enumerate maximal k-plexes of
   an edge-list / DIMACS / METIS file and print (or save) the results;
+* ``kplex-enum query GRAPH V... -k 2 -q 10`` — community search anchored at
+  the given query vertices;
+* ``kplex-enum solvers`` — list the registered solver backends;
 * ``kplex-enum datasets`` — list the bundled surrogate datasets (Table 2);
 * ``kplex-enum experiment table3`` — run one of the paper's experiments and
   print the reproduced table or figure series.
@@ -15,14 +19,14 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from .analysis.export import write_results
 from .analysis.reporting import render_series, render_table
-from .core.config import NAMED_VARIANTS, config_by_name
-from .core.enumerator import KPlexEnumerator
-from .core.query import enumerate_kplexes_containing
+from .api import EnumerationRequest, KPlexEngine, solver_names, solver_table
+from .core.config import NAMED_VARIANTS
 from .datasets import all_datasets, load_dataset
+from .errors import ReproError
 from .experiments import figures as figure_drivers
 from .experiments import tables as table_drivers
 from .graph.io import load_graph
@@ -55,6 +59,41 @@ _EXPERIMENTS = {
 }
 
 
+def _add_mining_arguments(parser: argparse.ArgumentParser) -> None:
+    """Options shared by every command that dispatches an EnumerationRequest."""
+    parser.add_argument("-k", type=int, required=True, help="k-plex parameter")
+    parser.add_argument("-q", type=int, required=True, help="minimum k-plex size")
+    parser.add_argument(
+        "--solver",
+        default="ours",
+        choices=sorted(solver_names()),
+        help="solver backend from the registry (default: ours)",
+    )
+    parser.add_argument(
+        "--variant",
+        default=None,
+        choices=sorted(NAMED_VARIANTS),
+        help="algorithm configuration variant for configurable solvers",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop the run after this wall-clock budget",
+    )
+    parser.add_argument(
+        "--max-results",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N results",
+    )
+    parser.add_argument(
+        "--format", default="auto", choices=["auto", "edgelist", "dimacs", "metis"]
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="kplex-enum",
@@ -66,17 +105,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "enumerate", help="enumerate maximal k-plexes of a graph file or bundled dataset"
     )
     enumerate_parser.add_argument("graph", help="path to a graph file, or dataset:<name>")
-    enumerate_parser.add_argument("-k", type=int, required=True, help="k-plex parameter")
-    enumerate_parser.add_argument("-q", type=int, required=True, help="minimum k-plex size")
-    enumerate_parser.add_argument(
-        "--variant",
-        default="ours",
-        choices=sorted(NAMED_VARIANTS),
-        help="algorithm variant (default: ours)",
-    )
-    enumerate_parser.add_argument(
-        "--format", default="auto", choices=["auto", "edgelist", "dimacs", "metis"]
-    )
+    _add_mining_arguments(enumerate_parser)
     enumerate_parser.add_argument("--json", action="store_true", help="print results as JSON")
     enumerate_parser.add_argument(
         "--limit", type=int, default=20, help="maximum number of k-plexes to print (0 = all)"
@@ -93,12 +122,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     query_parser.add_argument("graph", help="path to a graph file, or dataset:<name>")
     query_parser.add_argument("vertices", nargs="+", help="query vertex labels")
-    query_parser.add_argument("-k", type=int, required=True, help="k-plex parameter")
-    query_parser.add_argument("-q", type=int, required=True, help="minimum k-plex size")
-    query_parser.add_argument(
-        "--format", default="auto", choices=["auto", "edgelist", "dimacs", "metis"]
-    )
+    _add_mining_arguments(query_parser)
 
+    subparsers.add_parser("solvers", help="list the registered solver backends")
     subparsers.add_parser("datasets", help="list the bundled surrogate datasets")
 
     experiment_parser = subparsers.add_parser(
@@ -117,32 +143,41 @@ def _load_input_graph(spec: str, fmt: str):
     return load_graph(spec, fmt=fmt)
 
 
+def _request_from_args(args: argparse.Namespace, graph, **extra) -> EnumerationRequest:
+    """Single construction point: all parameter validation happens here."""
+    return EnumerationRequest(
+        graph=graph,
+        k=args.k,
+        q=args.q,
+        solver=args.solver,
+        variant=args.variant,
+        timeout_seconds=args.timeout,
+        max_results=getattr(args, "max_results", None),
+        **extra,
+    )
+
+
 def _command_enumerate(args: argparse.Namespace) -> int:
     graph = _load_input_graph(args.graph, args.format)
-    config = config_by_name(args.variant)
-    enumerator = KPlexEnumerator(graph, args.k, args.q, config)
-    result = enumerator.run()
+    engine = KPlexEngine()
+    response = engine.solve(_request_from_args(args, graph))
     if args.json:
-        payload = {
-            "k": args.k,
-            "q": args.q,
-            "variant": args.variant,
-            "count": result.count,
-            "kplexes": [list(plex.labels) for plex in result.kplexes],
-        }
-        print(json.dumps(payload, indent=2, default=str))
+        print(json.dumps(response.as_dict(), indent=2, default=str))
     else:
-        print(f"{result.count} maximal {args.k}-plexes with at least {args.q} vertices")
-        limit = args.limit if args.limit > 0 else result.count
-        for plex in result.kplexes[:limit]:
+        print(
+            f"{response.count} maximal {args.k}-plexes with at least {args.q} vertices "
+            f"(solver: {response.solver}, {response.termination})"
+        )
+        limit = args.limit if args.limit > 0 else response.count
+        for plex in response.kplexes[:limit]:
             print(f"  size={plex.size}: {list(plex.labels)}")
-        if result.count > limit:
-            print(f"  ... ({result.count - limit} more, use --limit 0 to print all)")
+        if response.count > limit:
+            print(f"  ... ({response.count - limit} more, use --limit 0 to print all)")
     if args.stats:
-        print(result.statistics)
+        print(response.statistics)
     if args.output:
-        fmt = write_results(result.kplexes, args.output)
-        print(f"wrote {result.count} k-plexes to {args.output} ({fmt})")
+        fmt = write_results(response.kplexes, args.output)
+        print(f"wrote {response.count} k-plexes to {args.output} ({fmt})")
     return 0
 
 
@@ -158,14 +193,20 @@ def _parse_query_labels(graph, labels):
 
 def _command_query(args: argparse.Namespace) -> int:
     graph = _load_input_graph(args.graph, args.format)
-    query = _parse_query_labels(graph, args.vertices)
-    results = enumerate_kplexes_containing(graph, query, args.k, args.q)
+    query = tuple(_parse_query_labels(graph, args.vertices))
+    engine = KPlexEngine()
+    response = engine.solve(_request_from_args(args, graph, query_vertices=query))
     print(
-        f"{len(results)} maximal {args.k}-plexes with at least {args.q} vertices "
+        f"{response.count} maximal {args.k}-plexes with at least {args.q} vertices "
         f"containing {args.vertices}"
     )
-    for plex in results:
+    for plex in response.kplexes:
         print(f"  size={plex.size}: {list(plex.labels)}")
+    return 0
+
+
+def _command_solvers(_args: argparse.Namespace) -> int:
+    print(render_table(solver_table(), title="Registered solvers (repro.api)"))
     return 0
 
 
@@ -189,20 +230,28 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+_COMMANDS = {
+    "enumerate": _command_enumerate,
+    "query": _command_query,
+    "solvers": _command_solvers,
+    "datasets": _command_datasets,
+    "experiment": _command_experiment,
+}
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``kplex-enum`` console script."""
     parser = _build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
-    if args.command == "enumerate":
-        return _command_enumerate(args)
-    if args.command == "query":
-        return _command_query(args)
-    if args.command == "datasets":
-        return _command_datasets(args)
-    if args.command == "experiment":
-        return _command_experiment(args)
-    parser.error(f"unknown command {args.command!r}")
-    return 2
+    handler = _COMMANDS.get(args.command)
+    if handler is None:
+        parser.error(f"unknown command {args.command!r}")
+        return 2
+    try:
+        return handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -34,6 +34,7 @@ from .kplex import (
     saturated_vertices,
     support_number,
     validate_parameters,
+    validate_query_vertices,
     verify_kplex,
 )
 from .pivot import repick_pivot_from_candidates, select_pivot
@@ -61,6 +62,7 @@ __all__ = [
     "can_extend",
     "verify_kplex",
     "validate_parameters",
+    "validate_query_vertices",
     "non_neighbor_count",
     "saturated_vertices",
     "support_number",

@@ -113,29 +113,33 @@ class KPlexEnumerator:
     def iter_results(self) -> Iterator[KPlex]:
         """Lazily yield maximal k-plexes (order follows the seed ordering)."""
         started = time.perf_counter()
-        if self._core_graph.num_vertices >= self.q:
-            for _seed, context in iter_seed_contexts(
-                self._core_graph, self.k, self.q, self.config, self.statistics
-            ):
-                if context is None:
-                    continue
-                found: List[KPlex] = []
-                searcher = BranchSearcher(
-                    context,
-                    self.k,
-                    self.q,
-                    self.config,
-                    self.statistics,
-                    on_result=lambda mask, ctx=context, sink=found: sink.append(
-                        self._result_from_mask(ctx, mask)
-                    ),
-                )
-                for task in iter_subtasks(
-                    context, self.k, self.q, self.config, self.statistics
+        # try/finally so abandoned generators (early cancellation, timeout,
+        # result budgets) still record the time they consumed.
+        try:
+            if self._core_graph.num_vertices >= self.q:
+                for _seed, context in iter_seed_contexts(
+                    self._core_graph, self.k, self.q, self.config, self.statistics
                 ):
-                    searcher.run_subtask(task)
-                yield from found
-        self.statistics.elapsed_seconds += time.perf_counter() - started
+                    if context is None:
+                        continue
+                    found: List[KPlex] = []
+                    searcher = BranchSearcher(
+                        context,
+                        self.k,
+                        self.q,
+                        self.config,
+                        self.statistics,
+                        on_result=lambda mask, ctx=context, sink=found: sink.append(
+                            self._result_from_mask(ctx, mask)
+                        ),
+                    )
+                    for task in iter_subtasks(
+                        context, self.k, self.q, self.config, self.statistics
+                    ):
+                        searcher.run_subtask(task)
+                    yield from found
+        finally:
+            self.statistics.elapsed_seconds += time.perf_counter() - started
 
     def run(self) -> EnumerationResult:
         """Enumerate all maximal k-plexes and return the collected result."""
@@ -166,10 +170,23 @@ def enumerate_maximal_kplexes(
 ) -> List[KPlex]:
     """Enumerate all maximal k-plexes of ``graph`` with at least ``q`` vertices.
 
-    This is the one-call functional API around :class:`KPlexEnumerator`,
-    returning the results of the paper's default algorithm ``Ours``.
+    This is the one-call functional API, kept as a thin shim over
+    :class:`repro.api.KPlexEngine` (solver ``"ours"``); results match the
+    paper's default algorithm ``Ours``.
     """
-    return KPlexEnumerator(graph, k, q, config).run().kplexes
+    from ..api.engine import KPlexEngine
+    from ..api.request import EnumerationRequest
+
+    return KPlexEngine().solve(
+        EnumerationRequest(
+            graph=graph,
+            k=k,
+            q=q,
+            solver="ours",
+            config=config,
+            sort_results=config.sort_results if config is not None else True,
+        )
+    ).kplexes
 
 
 def count_maximal_kplexes(
@@ -178,5 +195,14 @@ def count_maximal_kplexes(
     q: int,
     config: Optional[EnumerationConfig] = None,
 ) -> int:
-    """Count the maximal k-plexes of ``graph`` with at least ``q`` vertices."""
-    return KPlexEnumerator(graph, k, q, config).count()
+    """Count the maximal k-plexes of ``graph`` with at least ``q`` vertices.
+
+    Shim over :meth:`repro.api.KPlexEngine.count`: results are streamed and
+    discarded, never materialised.
+    """
+    from ..api.engine import KPlexEngine
+    from ..api.request import EnumerationRequest
+
+    return KPlexEngine().count(
+        EnumerationRequest(graph=graph, k=k, q=q, solver="ours", config=config)
+    )

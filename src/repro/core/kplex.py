@@ -80,6 +80,26 @@ def validate_parameters(k: int, q: int, enforce_diameter_bound: bool = True) -> 
         )
 
 
+def validate_query_vertices(graph: Graph, query_vertices: Iterable[int], q: int) -> Tuple[int, ...]:
+    """Validate a set of query vertices for anchored (community-search) enumeration.
+
+    Returns the deduplicated, sorted query tuple.  Raises
+    :class:`~repro.errors.ParameterError` when the query is empty, refers to
+    vertices outside ``graph``, or is already larger than the size threshold
+    ``q`` (in which case no maximal k-plex of size ``>= q`` can contain it as
+    a *proper* anchor — plain enumeration should be used instead).
+    """
+    query = tuple(sorted(set(query_vertices)))
+    if not query:
+        raise ParameterError("at least one query vertex is required")
+    for vertex in query:
+        if vertex not in graph:
+            raise ParameterError(f"query vertex {vertex} is not in the graph")
+    if len(query) > q:
+        raise ParameterError("the query is already larger than q; use plain enumeration")
+    return query
+
+
 def non_neighbor_count(graph: Graph, vertex: int, members: FrozenSet[int]) -> int:
     """Return ``\\bar d_P(vertex)``: non-neighbours of ``vertex`` inside ``members``.
 

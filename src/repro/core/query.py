@@ -22,12 +22,11 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
-from ..errors import ParameterError
 from ..graph import Graph
 from ..graph.dense import DenseSubgraph
 from .branch import BranchSearcher
 from .config import EnumerationConfig
-from .kplex import KPlex, is_kplex, validate_parameters
+from .kplex import KPlex, is_kplex, validate_parameters, validate_query_vertices
 from .pruning import corollary_52_keep
 from .seeds import SeedContext, SubTask
 from .stats import SearchStatistics
@@ -64,14 +63,7 @@ def enumerate_kplexes_containing(
     """
     validate_parameters(k, q)
     config = config or EnumerationConfig.ours()
-    query = sorted(set(query_vertices))
-    if not query:
-        raise ParameterError("at least one query vertex is required")
-    for vertex in query:
-        if vertex not in graph:
-            raise ParameterError(f"query vertex {vertex} is not in the graph")
-    if len(query) > q:
-        raise ParameterError("the query is already larger than q; use plain enumeration")
+    query = list(validate_query_vertices(graph, query_vertices, q))
     if not is_kplex(graph, query, k):
         return []
 

@@ -5,6 +5,11 @@ with parameters (k, q) and record the running time, the number of k-plexes
 and, for some tables, the peak memory".  :func:`run_algorithm` provides that
 single measurement, and :class:`RunRecord` is the row format every table and
 figure driver builds on.
+
+All measurements dispatch through the :class:`repro.api.KPlexEngine` facade:
+each of the paper's algorithm labels maps to a ``(solver, variant)`` pair in
+the solver registry, so the experiment drivers exercise exactly the code
+path a service consumer would use.
 """
 
 from __future__ import annotations
@@ -12,12 +17,9 @@ from __future__ import annotations
 import time
 import tracemalloc
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
-from ..baselines.fp import FPLike
-from ..baselines.listplex import ListPlexLike
-from ..core.config import EnumerationConfig
-from ..core.enumerator import EnumerationResult, KPlexEnumerator
+from ..api import EnumerationRequest, KPlexEngine
 from ..graph import Graph
 
 ALGORITHM_FP = "FP"
@@ -67,29 +69,39 @@ class RunRecord:
         return row
 
 
-def _variant_runner(config: EnumerationConfig) -> Callable[[Graph, int, int], EnumerationResult]:
-    def run(graph: Graph, k: int, q: int) -> EnumerationResult:
-        return KPlexEnumerator(graph, k, q, config).run()
-
-    return run
-
-
-_RUNNERS: Dict[str, Callable[[Graph, int, int], EnumerationResult]] = {
-    ALGORITHM_FP: lambda graph, k, q: FPLike(graph, k, q).run(),
-    ALGORITHM_LISTPLEX: lambda graph, k, q: ListPlexLike(graph, k, q).run(),
-    ALGORITHM_OURS: _variant_runner(EnumerationConfig.ours()),
-    ALGORITHM_OURS_P: _variant_runner(EnumerationConfig.ours_p()),
-    ALGORITHM_BASIC: _variant_runner(EnumerationConfig.basic()),
-    ALGORITHM_BASIC_R1: _variant_runner(EnumerationConfig.basic_with_r1()),
-    ALGORITHM_BASIC_R2: _variant_runner(EnumerationConfig.basic_with_r2()),
-    ALGORITHM_OURS_NO_UB: _variant_runner(EnumerationConfig.without_upper_bound()),
-    ALGORITHM_OURS_FP_UB: _variant_runner(EnumerationConfig.with_fp_upper_bound()),
+# Paper algorithm label -> (registry solver name, configuration variant).
+_ALGORITHM_DISPATCH: Dict[str, Tuple[str, Optional[str]]] = {
+    ALGORITHM_FP: ("fp", None),
+    ALGORITHM_LISTPLEX: ("listplex", None),
+    ALGORITHM_OURS: ("ours", None),
+    ALGORITHM_OURS_P: ("ours", "ours_p"),
+    ALGORITHM_BASIC: ("ours", "basic"),
+    ALGORITHM_BASIC_R1: ("ours", "basic+r1"),
+    ALGORITHM_BASIC_R2: ("ours", "basic+r2"),
+    ALGORITHM_OURS_NO_UB: ("ours", "ours-no-ub"),
+    ALGORITHM_OURS_FP_UB: ("ours", "ours-fp-ub"),
 }
+
+_ENGINE = KPlexEngine()
 
 
 def algorithm_names() -> List[str]:
     """Names accepted by :func:`run_algorithm`."""
-    return list(_RUNNERS)
+    return list(_ALGORITHM_DISPATCH)
+
+
+def request_for_algorithm(
+    algorithm: str, graph: Graph, k: int, q: int
+) -> EnumerationRequest:
+    """Translate a paper algorithm label into an :class:`EnumerationRequest`."""
+    try:
+        solver, variant = _ALGORITHM_DISPATCH[algorithm]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of "
+            f"{sorted(_ALGORITHM_DISPATCH)}"
+        ) from exc
+    return EnumerationRequest(graph=graph, k=k, q=q, solver=solver, variant=variant)
 
 
 def run_algorithm(
@@ -101,18 +113,13 @@ def run_algorithm(
     measure_memory: bool = False,
 ) -> RunRecord:
     """Run one algorithm on one workload and return the measurement record."""
-    try:
-        runner = _RUNNERS[algorithm]
-    except KeyError as exc:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; expected one of {sorted(_RUNNERS)}"
-        ) from exc
+    request = request_for_algorithm(algorithm, graph, k, q)
 
     peak = 0
     if measure_memory:
         tracemalloc.start()
     started = time.perf_counter()
-    result = runner(graph, k, q)
+    result = _ENGINE.solve(request)
     elapsed = time.perf_counter() - started
     if measure_memory:
         _, peak = tracemalloc.get_traced_memory()

@@ -17,8 +17,9 @@ and more parameter points.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..api.request import EnumerationRequest
 from ..datasets import get_dataset, load_dataset
 from ..graph import Graph
 
@@ -38,6 +39,26 @@ class Workload:
     def load(self) -> Graph:
         """Build the surrogate graph of the workload's dataset."""
         return load_dataset(self.dataset)
+
+    def to_request(
+        self,
+        graph: Optional[Graph] = None,
+        solver: str = "ours",
+        **overrides: object,
+    ) -> EnumerationRequest:
+        """Build an :class:`EnumerationRequest` for this workload.
+
+        ``graph`` avoids re-building the surrogate when the caller already
+        loaded it; extra keyword arguments pass through to the request
+        (``variant``, ``timeout_seconds``, ``options``, ...).
+        """
+        return EnumerationRequest(
+            graph=graph if graph is not None else self.load(),
+            k=self.k,
+            q=self.q,
+            solver=solver,
+            **overrides,
+        )
 
     def describe(self) -> Dict[str, object]:
         """Row fragment describing the workload (includes the paper's q)."""

@@ -136,18 +136,16 @@ def _stats_from_dict(values: Dict[str, float]) -> SearchStatistics:
 # --------------------------------------------------------------------------- #
 # Driver
 # --------------------------------------------------------------------------- #
-def parallel_enumerate_maximal_kplexes(
+def _enumerate_parallel(
     graph: Graph,
     k: int,
     q: int,
     parallel: Optional[ParallelConfig] = None,
 ) -> EnumerationResult:
-    """Enumerate all maximal k-plexes with at least ``q`` vertices in parallel.
-
-    The result is identical (as a set of vertex sets) to the sequential
-    :func:`repro.core.enumerate_maximal_kplexes`; statistics of all workers
-    are merged into a single :class:`SearchStatistics`.
-    """
+    """Implementation of the task-parallel enumeration (used by the engine's
+    ``parallel`` solver; library callers should go through
+    :func:`parallel_enumerate_maximal_kplexes` or
+    :class:`repro.api.KPlexEngine`)."""
     validate_parameters(k, q)
     parallel = parallel or ParallelConfig()
     started = time.perf_counter()
@@ -190,6 +188,44 @@ def parallel_enumerate_maximal_kplexes(
     return EnumerationResult(
         kplexes=kplexes,
         statistics=merged_stats,
+        k=k,
+        q=q,
+        config=parallel.enumeration,
+    )
+
+
+def parallel_enumerate_maximal_kplexes(
+    graph: Graph,
+    k: int,
+    q: int,
+    parallel: Optional[ParallelConfig] = None,
+) -> EnumerationResult:
+    """Enumerate all maximal k-plexes with at least ``q`` vertices in parallel.
+
+    The result is identical (as a set of vertex sets) to the sequential
+    :func:`repro.core.enumerate_maximal_kplexes`; statistics of all workers
+    are merged into a single :class:`SearchStatistics`.
+
+    This is a thin shim over :class:`repro.api.KPlexEngine` (solver
+    ``"parallel"``), kept for backwards compatibility; it still returns the
+    legacy :class:`EnumerationResult`.
+    """
+    from ..api.engine import KPlexEngine
+    from ..api.request import EnumerationRequest
+
+    parallel = parallel or ParallelConfig()
+    response = KPlexEngine().solve(
+        EnumerationRequest(
+            graph=graph,
+            k=k,
+            q=q,
+            solver="parallel",
+            options={"parallel": parallel},
+        )
+    )
+    return EnumerationResult(
+        kplexes=response.kplexes,
+        statistics=response.statistics,
         k=k,
         q=q,
         config=parallel.enumeration,

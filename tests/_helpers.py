@@ -1,0 +1,31 @@
+"""Shared non-fixture helpers for the test-suite.
+
+Imported explicitly (``from _helpers import ...``) rather than living in
+``conftest.py``: ``conftest`` is a special module name pytest also assigns to
+``benchmarks/conftest.py``, so importing helpers *from* it resolves to
+whichever conftest was loaded first.  Fixtures stay in ``tests/conftest.py``
+where pytest injects them by name.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.graph import Graph, generators
+
+
+def random_graph_cases(count: int, max_vertices: int = 13, seed: int = 0) -> List[Graph]:
+    """Deterministic list of small random graphs for oracle comparisons."""
+    rng = random.Random(seed)
+    graphs = []
+    for index in range(count):
+        n = rng.randint(5, max_vertices)
+        p = rng.choice([0.2, 0.35, 0.5, 0.7])
+        graphs.append(generators.erdos_renyi(n, p, seed=seed * 1000 + index))
+    return graphs
+
+
+def vertex_sets(plexes) -> set:
+    """Convert KPlex results to a comparable set of frozensets."""
+    return {frozenset(plex.vertices) for plex in plexes}

@@ -1,9 +1,11 @@
-"""Shared fixtures and helpers for the test-suite."""
+"""Shared fixtures for the test-suite.
+
+Non-fixture helpers live in ``tests/_helpers.py`` and are imported
+explicitly; keeping them out of ``conftest.py`` avoids the module-name
+collision with ``benchmarks/conftest.py``.
+"""
 
 from __future__ import annotations
-
-import random
-from typing import List, Tuple
 
 import pytest
 
@@ -38,19 +40,3 @@ def figure3_graph() -> Graph:
 def karate_like() -> Graph:
     """A deterministic 34-vertex social-style graph used by integration tests."""
     return generators.relaxed_caveman(4, 9, rewire_probability=0.25, seed=5)
-
-
-def random_graph_cases(count: int, max_vertices: int = 13, seed: int = 0) -> List[Graph]:
-    """Deterministic list of small random graphs for oracle comparisons."""
-    rng = random.Random(seed)
-    graphs = []
-    for index in range(count):
-        n = rng.randint(5, max_vertices)
-        p = rng.choice([0.2, 0.35, 0.5, 0.7])
-        graphs.append(generators.erdos_renyi(n, p, seed=seed * 1000 + index))
-    return graphs
-
-
-def vertex_sets(plexes) -> set:
-    """Convert KPlex results to a comparable set of frozensets."""
-    return {frozenset(plex.vertices) for plex in plexes}

@@ -22,7 +22,7 @@ from repro.core import is_kplex, is_maximal_kplex
 from repro.errors import ParameterError
 from repro.graph import Graph, generators
 
-from conftest import vertex_sets
+from _helpers import vertex_sets
 
 
 # --------------------------------------------------------------------------- #

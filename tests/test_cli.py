@@ -110,3 +110,40 @@ def test_query_command(graph_file, capsys):
     assert exit_code == 0
     assert "containing" in captured.out
     assert "size=" in captured.out
+
+
+def test_solvers_listing(capsys):
+    exit_code = main(["solvers"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    for solver in ("ours", "fp", "listplex", "bron-kerbosch", "brute-force", "parallel"):
+        assert solver in captured.out
+
+
+def test_enumerate_with_solver_flag(graph_file, capsys):
+    exit_code = main(
+        ["enumerate", str(graph_file), "-k", "2", "-q", "5", "--solver", "bron-kerbosch"]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "solver: bron-kerbosch" in captured.out
+
+
+def test_enumerate_json_reports_termination(graph_file, capsys):
+    exit_code = main(
+        ["enumerate", str(graph_file), "-k", "2", "-q", "5", "--json", "--max-results", "1"]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    payload = json.loads(captured.out)
+    assert payload["count"] == 1
+    assert payload["termination"] == "result-limit"
+    assert payload["solver"] == "ours"
+
+
+def test_parameter_errors_are_reported_not_raised(graph_file, capsys):
+    # q < 2k - 1 for the decomposed solver: a clean error message, exit code 1.
+    exit_code = main(["enumerate", str(graph_file), "-k", "3", "-q", "2"])
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    assert "error:" in captured.err

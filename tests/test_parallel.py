@@ -13,7 +13,7 @@ from repro.parallel import (
     timeout_curve,
 )
 
-from conftest import vertex_sets
+from _helpers import vertex_sets
 
 
 # --------------------------------------------------------------------------- #

@@ -12,7 +12,7 @@ from repro.core import (
 from repro.errors import ParameterError
 from repro.graph import Graph, generators
 
-from conftest import random_graph_cases, vertex_sets
+from _helpers import random_graph_cases, vertex_sets
 
 
 def test_query_matches_filtered_global_enumeration():

@@ -16,7 +16,7 @@ from repro.baselines.brute_force import brute_force_vertex_sets
 from repro.core import EnumerationConfig, enumerate_maximal_kplexes
 from repro.graph import generators
 
-from conftest import random_graph_cases, vertex_sets
+from _helpers import random_graph_cases, vertex_sets
 
 VARIANTS = {
     "Ours": EnumerationConfig.ours(),

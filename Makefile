@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-quick bench-full lint examples
+.PHONY: test bench-quick bench-full bench-json lint examples
 
 # Tier-1: the full unit/integration suite (collection is configured in
 # pyproject.toml, so plain `python -m pytest` works too).
@@ -18,6 +18,10 @@ bench-quick:
 
 bench-full:
 	REPRO_BENCH_SCALE=full $(PYTHON) -m pytest benchmarks/ -q
+
+# Machine-readable perf trail: per-bench median wall-clock in BENCH_results.json.
+bench-json:
+	$(PYTHON) benchmarks/bench_json.py --output BENCH_results.json
 
 # Byte-compile every source tree (no third-party linters are vendored in the
 # image) and smoke-import the public API surface.

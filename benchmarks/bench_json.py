@@ -1,0 +1,142 @@
+"""Machine-readable micro-benchmark runner (``make bench-json``).
+
+Runs a fixed set of hot-path micro-benchmarks several times each and writes
+per-bench median wall-clock times to a JSON file (``BENCH_results.json`` by
+default).  The file is the repository's performance trail: successive PRs
+append comparable numbers, so regressions and wins are visible from the
+diff.
+
+Usage::
+
+    python benchmarks/bench_json.py [--output BENCH_results.json] [--repeats 5]
+
+Only the stdlib and :mod:`repro` are used; every workload is deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import time
+from typing import Callable, Dict, List
+
+from repro.api import EnumerationRequest, KPlexEngine
+from repro.core import enumerate_maximal_kplexes
+from repro.datasets import load_dataset
+from repro.graph import (
+    CSRGraph,
+    Graph,
+    invalidate,
+    prepare,
+    set_backed_core_decomposition,
+    shrink_to_core,
+)
+
+REPEATED_QUERIES = 20
+
+
+def _timed(function: Callable[[], object], repeats: int) -> Dict[str, object]:
+    samples: List[float] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        function()
+        samples.append(time.perf_counter() - started)
+    return {
+        "median_seconds": round(statistics.median(samples), 6),
+        "min_seconds": round(min(samples), 6),
+        "runs": repeats,
+    }
+
+
+def run_benches(repeats: int) -> Dict[str, object]:
+    benches: Dict[str, Dict[str, object]] = {}
+    engine = KPlexEngine()
+
+    # ---- repeated-query replay: the prepared-graph cache headline ---- #
+    graph = load_dataset("enwiki-2021")
+
+    def replay(cold: bool) -> None:
+        if not cold:
+            invalidate(graph)
+        for _ in range(REPEATED_QUERIES):
+            if cold:
+                invalidate(graph)
+            engine.solve(EnumerationRequest(graph=graph, k=2, q=20))
+
+    benches["repeated_queries_uncached"] = _timed(lambda: replay(True), repeats)
+    benches["repeated_queries_cached"] = _timed(lambda: replay(False), repeats)
+
+    # ---- component micro-benchmarks ---- #
+    component_graph = load_dataset("soc-epinions")
+
+    benches["core_decomposition_cold"] = _timed(
+        lambda: set_backed_core_decomposition(component_graph), repeats
+    )
+    prepare(component_graph).decomposition  # warm the cache once
+    benches["core_decomposition_cached"] = _timed(
+        lambda: prepare(component_graph).decomposition, repeats
+    )
+    csr = CSRGraph.from_graph(component_graph)
+
+    sample = range(0, component_graph.num_vertices, 4)
+    benches["two_hop_set_backed"] = _timed(
+        lambda: [component_graph.two_hop_neighbors(v) for v in sample], repeats
+    )
+    benches["two_hop_csr"] = _timed(
+        lambda: [csr.two_hop_neighbors(v) for v in sample], repeats
+    )
+
+    benches["csr_construction"] = _timed(
+        lambda: CSRGraph.from_graph(component_graph), repeats
+    )
+
+    edges = list(component_graph.edges())
+    benches["graph_from_edges"] = _timed(lambda: Graph.from_edges(edges), repeats)
+
+    def shrink_cold() -> None:
+        invalidate(component_graph)
+        shrink_to_core(component_graph, 6)
+
+    benches["shrink_to_core_cold"] = _timed(shrink_cold, repeats)
+
+    # ---- end-to-end enumeration (search-dominated; must not regress) ---- #
+    jazz = load_dataset("jazz")
+
+    def solve_jazz() -> None:
+        invalidate(jazz)
+        enumerate_maximal_kplexes(jazz, 2, 8)
+
+    benches["end_to_end_jazz_k2_q8"] = _timed(solve_jazz, repeats)
+
+    uncached = benches["repeated_queries_uncached"]["median_seconds"]
+    cached = benches["repeated_queries_cached"]["median_seconds"]
+    derived = {
+        "repeated_query_speedup": round(uncached / cached, 2) if cached else None,
+        "requests_per_replay": REPEATED_QUERIES,
+    }
+    return {
+        "schema": 1,
+        "python": platform.python_version(),
+        "benches": benches,
+        "derived": derived,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_results.json")
+    parser.add_argument("--repeats", type=int, default=5)
+    args = parser.parse_args()
+    payload = run_benches(args.repeats)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    speedup = payload["derived"]["repeated_query_speedup"]
+    print(f"wrote {args.output} (repeated-query speedup: {speedup}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

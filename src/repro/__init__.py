@@ -54,7 +54,7 @@ from .core import (
     is_maximal_kplex,
 )
 from .errors import DatasetError, FormatError, GraphError, ParameterError, ReproError
-from .graph import Graph
+from .graph import CSRGraph, Graph, PreparedGraph
 from .parallel import ParallelConfig, parallel_enumerate_maximal_kplexes
 from .api import (
     CancellationToken,
@@ -72,6 +72,8 @@ __version__ = "1.1.0"
 
 __all__ = [
     "Graph",
+    "CSRGraph",
+    "PreparedGraph",
     "KPlex",
     "KPlexEnumerator",
     "EnumerationConfig",

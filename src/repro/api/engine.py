@@ -26,10 +26,12 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence
 
-from ..core.kplex import KPlex
+from ..core.kplex import KPlex, validate_parameters
 from ..core.stats import SearchStatistics
 from ..errors import ParameterError
 from ..graph import Graph
+from ..graph.prepared import PreparedGraph
+from ..graph.prepared import prepare as _prepare_graph
 from .registry import Solver, SolverRun, get_solver, solver_names, solver_table
 from .request import DEFAULT_SOLVER, EnumerationRequest
 from .response import (
@@ -106,6 +108,36 @@ class KPlexEngine:
         return EnumerationRequest(graph=graph, k=k, q=q, **kwargs)  # type: ignore[arg-type]
 
     @staticmethod
+    def prepare(
+        graph: Graph, k: Optional[int] = None, q: Optional[int] = None
+    ) -> PreparedGraph:
+        """Pre-warm the prepared-graph index of ``graph`` and return it.
+
+        All solvers share this per-graph cache automatically — repeated
+        :meth:`solve` / :meth:`stream` / :meth:`solve_batch` calls on the
+        same graph object pay the graph-structure work only once; the index
+        lives exactly as long as the graph object does.
+
+        Without parameters this materialises the CSR form (which the
+        ``(q-k)``-core shrinking of the first request runs on); the cores
+        themselves and their orderings are cached on first use because they
+        depend on ``q - k``.  Pass the ``k``/``q`` a service expects to also
+        warm that core and its degeneracy ordering, moving the whole
+        preprocessing cost of the first matching request out of its latency.
+        """
+        if (k is None) != (q is None):
+            raise ParameterError(
+                "pass both k and q to warm a core level, or neither"
+            )
+        prepared = _prepare_graph(graph)
+        prepared.csr
+        if k is not None and q is not None:
+            validate_parameters(k, q, enforce_diameter_bound=False)
+            prepared_core, _ = prepared.prepared_core(q - k)
+            prepared_core.position
+        return prepared
+
+    @staticmethod
     def solvers() -> List[str]:
         """Primary names of every registered solver."""
         return solver_names()
@@ -136,9 +168,11 @@ class KPlexEngine:
         cancel: Optional[CancellationToken],
         on_progress: Optional[Callable[[ProgressEvent], None]],
     ) -> Iterator[KPlex]:
+        # Start the clock before dispatch so elapsed_seconds (and the
+        # timeout budget) cover the solver's preprocessing as well.
+        started = self._clock()
         _solver, run = self._start(request)
         outcome.run = run
-        started = self._clock()
         deadline = (
             started + request.timeout_seconds
             if request.timeout_seconds is not None

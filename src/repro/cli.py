@@ -174,7 +174,13 @@ def _command_enumerate(args: argparse.Namespace) -> int:
         if response.count > limit:
             print(f"  ... ({response.count - limit} more, use --limit 0 to print all)")
     if args.stats:
-        print(response.statistics)
+        stats = response.statistics
+        print(
+            f"time: elapsed={response.elapsed_seconds:.4f}s "
+            f"preprocess={stats.preprocess_seconds:.4f}s "
+            f"search={stats.search_seconds:.4f}s"
+        )
+        print(stats)
     if args.output:
         fmt = write_results(response.kplexes, args.output)
         print(f"wrote {response.count} k-plexes to {args.output} ({fmt})")

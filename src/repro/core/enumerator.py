@@ -22,7 +22,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ParameterError
 from ..graph import Graph
-from ..graph.core_decomposition import shrink_to_core
+from ..graph.prepared import prepare
 from .branch import BranchSearcher
 from .config import EnumerationConfig
 from .kplex import KPlex, validate_parameters
@@ -86,8 +86,20 @@ class KPlexEnumerator:
         self.config = config or EnumerationConfig.ours()
         self.statistics = SearchStatistics()
         # The (q-k)-core the search actually runs on, plus the map back to
-        # the input graph's vertex ids.
-        self._core_graph, self._core_map = shrink_to_core(graph, q - k)
+        # the input graph's vertex ids.  Both the shrinking and the core's
+        # degeneracy ordering come from the prepared-graph index, so repeated
+        # runs on the same graph object skip this work entirely; the time the
+        # lookups actually take is recorded as preprocessing.
+        started = time.perf_counter()
+        self._prepared_core, self._core_map = prepare(graph).prepared_core(q - k)
+        self._core_graph = self._prepared_core.graph
+        if self._core_graph.num_vertices >= q:
+            # Materialise the ordering up front so the preprocess/search
+            # time split is meaningful.
+            self._prepared_core.position
+        preprocess = time.perf_counter() - started
+        self.statistics.preprocess_seconds += preprocess
+        self.statistics.elapsed_seconds += preprocess
 
     # ------------------------------------------------------------------ #
     # Properties describing the preprocessed search space
@@ -118,7 +130,12 @@ class KPlexEnumerator:
         try:
             if self._core_graph.num_vertices >= self.q:
                 for _seed, context in iter_seed_contexts(
-                    self._core_graph, self.k, self.q, self.config, self.statistics
+                    self._core_graph,
+                    self.k,
+                    self.q,
+                    self.config,
+                    self.statistics,
+                    prepared=self._prepared_core,
                 ):
                     if context is None:
                         continue
@@ -139,7 +156,9 @@ class KPlexEnumerator:
                         searcher.run_subtask(task)
                     yield from found
         finally:
-            self.statistics.elapsed_seconds += time.perf_counter() - started
+            duration = time.perf_counter() - started
+            self.statistics.search_seconds += duration
+            self.statistics.elapsed_seconds += duration
 
     def run(self) -> EnumerationResult:
         """Enumerate all maximal k-plexes and return the collected result."""

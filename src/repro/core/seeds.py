@@ -19,8 +19,8 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..graph import Graph
 from ..graph.bitset import bits_to_list, iter_bits
-from ..graph.core_decomposition import core_decomposition
 from ..graph.dense import DenseSubgraph, external_adjacency_mask
+from ..graph.prepared import PreparedGraph, prepare
 from .bounds import seed_task_bound
 from .config import EnumerationConfig
 from .pruning import build_pair_matrix, corollary_52_keep
@@ -100,16 +100,19 @@ def build_seed_context(
     ``order_position[v]`` must give the position of vertex ``v`` in the
     degeneracy ordering.  ``None`` is returned when the (pruned) seed
     subgraph is too small to contain a k-plex with ``q`` vertices.
+
+    The expansion deliberately stays on the frozenset adjacency: CPython's
+    C-level set unions measure faster than interpreted scans over the CSR
+    rows on every bundled dataset (see ``BENCH_results.json``), so the
+    prepared-graph index accelerates this function through what it *caches*
+    (the ordering and the shrunk core the caller passes in), not by swapping
+    the inner loops.
     """
     seed_position = order_position[seed_vertex]
     neighbors = graph.neighbors(seed_vertex)
-    two_hops = graph.two_hop_neighbors(seed_vertex)
+    reach = neighbors | graph.two_hop_neighbors(seed_vertex)
 
-    later = [
-        vertex
-        for vertex in neighbors | two_hops
-        if order_position[vertex] > seed_position
-    ]
+    later = [vertex for vertex in reach if order_position[vertex] > seed_position]
     candidate_vertices = set(later)
     candidate_vertices.add(seed_vertex)
     if len(candidate_vertices) < q:
@@ -141,9 +144,7 @@ def build_seed_context(
 
     # External exclusive vertices: earlier in the ordering, within two hops.
     external_vertices = sorted(
-        vertex
-        for vertex in neighbors | two_hops
-        if order_position[vertex] < seed_position
+        vertex for vertex in reach if order_position[vertex] < seed_position
     )
     external_adjacency = [
         external_adjacency_mask(subgraph, vertex) for vertex in external_vertices
@@ -247,6 +248,7 @@ def iter_seed_contexts(
     config: EnumerationConfig,
     stats: Optional[SearchStatistics] = None,
     seed_vertices: Optional[Sequence[int]] = None,
+    prepared: Optional[PreparedGraph] = None,
 ) -> Iterator[Tuple[int, Optional[SeedContext]]]:
     """Iterate over ``(seed_vertex, SeedContext or None)`` in degeneracy order.
 
@@ -254,10 +256,16 @@ def iter_seed_contexts(
     ``(q - k)``-core (Theorem 3.5); the seed order is the degeneracy ordering
     of that graph.  ``seed_vertices`` restricts the iteration to a subset of
     seeds (used by the parallel executor to assign task groups to workers).
+    The degeneracy ordering and the CSR adjacency come from the graph's
+    prepared index (computed once per graph, shared across requests); pass
+    ``prepared`` to reuse an index the caller already holds.
     """
-    decomposition = core_decomposition(graph)
-    position = decomposition.position()
-    seeds = decomposition.order if seed_vertices is None else list(seed_vertices)
+    if prepared is None:
+        prepared = prepare(graph)
+    position = prepared.position
+    seeds = (
+        prepared.decomposition.order if seed_vertices is None else list(seed_vertices)
+    )
     for seed_vertex in seeds:
         context = build_seed_context(graph, position, seed_vertex, k, q, config, stats)
         yield seed_vertex, context

@@ -29,6 +29,11 @@ class SearchStatistics:
     vertices_pruned_by_corollary: int = 0
     maximality_rejections: int = 0
     elapsed_seconds: float = 0.0
+    # Split of elapsed_seconds: graph-level preprocessing (core shrinking,
+    # degeneracy ordering, CSR construction — near zero on a prepared-graph
+    # cache hit) vs the search proper (seed subgraphs + branch and bound).
+    preprocess_seconds: float = 0.0
+    search_seconds: float = 0.0
     per_seed_branch_calls: Dict[int, int] = field(default_factory=dict)
 
     def record_seed(self, seed_vertex: int, subgraph_size: int) -> None:
@@ -59,6 +64,8 @@ class SearchStatistics:
         self.vertices_pruned_by_corollary += other.vertices_pruned_by_corollary
         self.maximality_rejections += other.maximality_rejections
         self.elapsed_seconds = max(self.elapsed_seconds, other.elapsed_seconds)
+        self.preprocess_seconds = max(self.preprocess_seconds, other.preprocess_seconds)
+        self.search_seconds = max(self.search_seconds, other.search_seconds)
         for seed, calls in other.per_seed_branch_calls.items():
             self.per_seed_branch_calls[seed] = self.per_seed_branch_calls.get(seed, 0) + calls
         return self
@@ -78,6 +85,8 @@ class SearchStatistics:
             "vertices_pruned_by_corollary": self.vertices_pruned_by_corollary,
             "maximality_rejections": self.maximality_rejections,
             "elapsed_seconds": self.elapsed_seconds,
+            "preprocess_seconds": self.preprocess_seconds,
+            "search_seconds": self.search_seconds,
         }
 
     def __str__(self) -> str:

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..api import EnumerationRequest, KPlexEngine
-from ..graph import Graph
+from ..graph import Graph, invalidate
 
 ALGORITHM_FP = "FP"
 ALGORITHM_LISTPLEX = "ListPlex"
@@ -112,8 +112,14 @@ def run_algorithm(
     q: int,
     measure_memory: bool = False,
 ) -> RunRecord:
-    """Run one algorithm on one workload and return the measurement record."""
+    """Run one algorithm on one workload and return the measurement record.
+
+    Every measured run starts from a cold prepared-graph cache: the paper's
+    tables compare algorithms on the same workload, so no algorithm may
+    inherit the preprocessing a previously measured one already paid for.
+    """
     request = request_for_algorithm(algorithm, graph, k, q)
+    invalidate(graph)
 
     peak = 0
     if measure_memory:

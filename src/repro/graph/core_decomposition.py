@@ -54,11 +54,33 @@ class CoreDecomposition:
 
 
 def core_decomposition(graph: Graph) -> CoreDecomposition:
-    """Run the linear-time peeling algorithm on ``graph``.
+    """Return the core decomposition of ``graph`` (cached per graph object).
 
     Vertices are repeatedly removed in order of minimum remaining degree; ties
     are broken by the smallest vertex id, matching the convention used in the
-    paper to make the ordering unique.
+    paper to make the ordering unique.  The result is computed once per graph
+    through the prepared-graph index (:mod:`repro.graph.prepared`) and reused
+    by every subsequent request on the same graph object.
+    """
+    from .prepared import prepare  # local import: prepared depends on this module
+
+    cached = prepare(graph).decomposition
+    # Fresh lists per call: callers historically received their own copy and
+    # may mutate it (e.g. to experiment with orderings); the cached object
+    # itself must stay pristine for every later request on this graph.
+    return CoreDecomposition(
+        order=list(cached.order),
+        core_numbers=list(cached.core_numbers),
+        degeneracy=cached.degeneracy,
+    )
+
+
+def set_backed_core_decomposition(graph: Graph) -> CoreDecomposition:
+    """Reference peeling over the adjacency sets (uncached).
+
+    This is the original bucket-queue implementation; the CSR-backed kernel
+    in :mod:`repro.graph.prepared` must produce bit-identical results, which
+    the equivalence tests assert against this function.
     """
     n = graph.num_vertices
     if n == 0:
@@ -152,9 +174,16 @@ def shrink_to_core(graph: Graph, minimum_degree: int):
     """Shrink ``graph`` to its ``minimum_degree``-core (Theorem 3.5 helper).
 
     Returns ``(core_graph, vertex_map)`` where ``vertex_map[new_id]`` is the
-    vertex id in the original graph.
+    vertex id in the original graph.  Cached per graph object and core level
+    via the prepared-graph index; when nothing is peeled the input graph
+    itself is returned with an identity map, so the core's own cached
+    preprocessing is shared too.
     """
-    return k_core_subgraph(graph, minimum_degree)
+    from .prepared import prepare  # local import: prepared depends on this module
+
+    core_graph, vertex_map = prepare(graph).core(minimum_degree)
+    # The cached vertex map is shared across requests; hand out a copy.
+    return core_graph, list(vertex_map)
 
 
 def validate_degeneracy_ordering(graph: Graph, order: Sequence[int]) -> bool:

@@ -33,7 +33,15 @@ class Graph:
         the labels are the internal ids themselves.
     """
 
-    __slots__ = ("_adjacency", "_labels", "_label_index", "_num_edges")
+    __slots__ = (
+        "_adjacency",
+        "_labels",
+        "_label_index",
+        "_num_edges",
+        "_degrees",
+        "_prepared",
+        "__weakref__",
+    )
 
     def __init__(
         self,
@@ -62,6 +70,10 @@ class Graph:
         if len(self._label_index) != n:
             raise GraphError("vertex labels must be unique")
         self._num_edges = sum(len(neigh) for neigh in self._adjacency) // 2
+        self._degrees: Optional[Tuple[int, ...]] = None
+        # Lazily attached repro.graph.prepared.PreparedGraph; lives and dies
+        # with this object so repeated queries reuse the preprocessing.
+        self._prepared = None
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -81,26 +93,24 @@ class Graph:
         """
         labels: List[Hashable] = []
         index: Dict[Hashable, int] = {}
+        adjacency: List[set] = []
 
         def intern(label: Hashable) -> int:
             if label not in index:
                 index[label] = len(labels)
                 labels.append(label)
+                adjacency.append(set())
             return index[label]
 
         if vertices is not None:
             for label in vertices:
                 intern(label)
-        pairs = []
         for u_label, v_label in edges:
             u = intern(u_label)
             v = intern(v_label)
             if u != v:
-                pairs.append((u, v))
-        adjacency: List[set] = [set() for _ in range(len(labels))]
-        for u, v in pairs:
-            adjacency[u].add(v)
-            adjacency[v].add(u)
+                adjacency[u].add(v)
+                adjacency[v].add(u)
         return cls(adjacency, labels)
 
     @classmethod
@@ -212,12 +222,33 @@ class Graph:
         return Graph(adjacency, labels), kept
 
     def degrees(self) -> List[int]:
-        """Return all vertex degrees indexed by vertex id."""
-        return [len(neigh) for neigh in self._adjacency]
+        """Return all vertex degrees indexed by vertex id.
+
+        The degree sequence is computed once and cached; a fresh list is
+        returned every call because several peeling algorithms mutate it.
+        """
+        if self._degrees is None:
+            self._degrees = tuple(len(neigh) for neigh in self._adjacency)
+        return list(self._degrees)
 
     # ------------------------------------------------------------------ #
     # Dunder methods
     # ------------------------------------------------------------------ #
+    def __getstate__(self):
+        # The derived caches (_degrees, _label_index and especially the
+        # prepared index, which references this graph back) are rebuilt on
+        # the receiving side instead of being shipped.
+        return (self._adjacency, self._labels)
+
+    def __setstate__(self, state) -> None:
+        adjacency, labels = state
+        self._adjacency = adjacency
+        self._labels = labels
+        self._label_index = {label: index for index, label in enumerate(labels)}
+        self._num_edges = sum(len(neigh) for neigh in adjacency) // 2
+        self._degrees = None
+        self._prepared = None
+
     def __len__(self) -> int:
         return self.num_vertices
 

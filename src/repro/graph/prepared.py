@@ -1,0 +1,247 @@
+"""Prepared-graph index: cached preprocessing shared across engine requests.
+
+Every enumeration request performs the same graph-structure work before the
+search proper starts: build a fast adjacency form, peel the ``(q-k)``-core
+(Theorem 3.5) and compute the degeneracy ordering.  When the same graph is
+queried repeatedly — the service scenario of the ROADMAP — recomputing these
+from scratch dominates the preprocessing time.
+
+:class:`PreparedGraph` caches, per :class:`~repro.graph.graph.Graph`:
+
+* the :class:`~repro.graph.csr.CSRGraph` form (flat sorted adjacency arrays);
+* the core decomposition (degeneracy ordering, core numbers, degeneracy);
+* the shrunk ``d``-core for every requested minimum degree ``d``, together
+  with the vertex map back to the source graph and a chained
+  :class:`PreparedGraph` for the core graph itself.
+
+Everything is computed lazily and at most once, guarded by a lock so the
+engine's thread-pool ``solve_batch`` can share one index.
+
+The cache is keyed by graph *identity* with the lifetime of the graph: the
+index lives in a slot on the ``Graph`` object, so it is reused by every
+request that passes the same graph and is garbage-collected together with
+it.  (This has the semantics of a weak-keyed cache without the
+value-keeps-key-alive leak a ``WeakKeyDictionary`` would suffer here, since
+the index must reference its graph.)
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from .core_decomposition import CoreDecomposition, set_backed_core_decomposition
+from .csr import CSRGraph
+from .graph import Graph
+
+_LOCK = threading.Lock()
+
+
+def prepare(graph: Graph) -> "PreparedGraph":
+    """Return the (lazily filled) prepared index of ``graph``.
+
+    Repeated calls with the same graph object return the same index; all
+    engine entry points route their preprocessing through it, so a second
+    request on a graph pays none of the structure-building cost again.
+    """
+    prepared = graph._prepared
+    if prepared is None:
+        with _LOCK:
+            prepared = graph._prepared
+            if prepared is None:
+                prepared = PreparedGraph(graph)
+                graph._prepared = prepared
+    return prepared
+
+
+def invalidate(graph: Graph) -> None:
+    """Drop every cached artefact of ``graph`` (tests and benchmarks only).
+
+    Clears the prepared index and the cached degree sequence, so a
+    subsequent request measures a genuinely cold start.
+    """
+    graph._prepared = None
+    graph._degrees = None
+
+
+class PreparedGraph:
+    """Cached structural indexes of one graph (see module docstring)."""
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph
+        self._lock = threading.RLock()
+        self._csr: Optional[CSRGraph] = None
+        self._decomposition: Optional[CoreDecomposition] = None
+        self._position: Optional[List[int]] = None
+        self._cores: Dict[int, Tuple[Graph, List[int]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Cached artefacts
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> Graph:
+        """The source graph this index belongs to."""
+        return self._graph
+
+    @property
+    def csr(self) -> CSRGraph:
+        """The CSR form of the graph (built on first use)."""
+        csr = self._csr
+        if csr is None:
+            with self._lock:
+                csr = self._csr
+                if csr is None:
+                    csr = CSRGraph.from_graph(self._graph)
+                    self._csr = csr
+        return csr
+
+    @property
+    def decomposition(self) -> CoreDecomposition:
+        """The core decomposition, computed once by the reference peeling.
+
+        The bucket-queue peeling over the adjacency sets is the fastest of
+        the implementations measured under CPython (its inner loops are
+        C-level set operations), so the cached artefact is produced by the
+        reference itself — the win here is paying for it once per graph.
+
+        The returned object (and its lists) is the shared cache entry:
+        treat it as read-only.  The public
+        :func:`~repro.graph.core_decomposition.core_decomposition` hands out
+        defensive copies instead.
+        """
+        decomposition = self._decomposition
+        if decomposition is None:
+            with self._lock:
+                decomposition = self._decomposition
+                if decomposition is None:
+                    decomposition = set_backed_core_decomposition(self._graph)
+                    self._decomposition = decomposition
+        return decomposition
+
+    @property
+    def position(self) -> List[int]:
+        """``position[v]`` = index of ``v`` in the degeneracy ordering."""
+        position = self._position
+        if position is None:
+            with self._lock:
+                position = self._position
+                if position is None:
+                    position = self.decomposition.position()
+                    self._position = position
+        return position
+
+    def core(self, minimum_degree: int) -> Tuple[Graph, List[int]]:
+        """Return the cached ``minimum_degree``-core and its vertex map.
+
+        The vertex map sends core-graph ids back to ids in this graph.  When
+        no vertex is peeled the graph itself is returned (with an identity
+        map), which chains the prepared indexes: preparing the core is then
+        the same cache entry as preparing the graph.
+        """
+        entry = self._cores.get(minimum_degree)
+        if entry is None:
+            with self._lock:
+                entry = self._cores.get(minimum_degree)
+                if entry is None:
+                    entry = self._build_core(minimum_degree)
+                    self._cores[minimum_degree] = entry
+        return entry
+
+    def prepared_core(self, minimum_degree: int) -> Tuple["PreparedGraph", List[int]]:
+        """Like :meth:`core` but returning the core's own prepared index.
+
+        The vertex map is the shared cache entry — treat it as read-only.
+        """
+        core_graph, vertex_map = self.core(minimum_degree)
+        return prepare(core_graph), vertex_map
+
+    def for_worker_transfer(self) -> "PreparedGraph":
+        """A slim copy carrying only what parallel workers read.
+
+        Ships the graph, the finished core decomposition and the position
+        index; the CSR arrays and cached core subgraphs stay behind, keeping
+        the per-worker pickle payload minimal.
+        """
+        slim = PreparedGraph(self._graph)
+        slim._decomposition = self.decomposition
+        slim._position = self.position
+        return slim
+
+    def _build_core(self, minimum_degree: int) -> Tuple[Graph, List[int]]:
+        graph = self._graph
+        n = graph.num_vertices
+        if minimum_degree <= 0 or n == 0:
+            return graph, list(range(n))
+        csr = self.csr
+        alive = _csr_k_core_alive(csr, minimum_degree)
+        kept = [vertex for vertex in range(n) if alive[vertex]]
+        if len(kept) == n:
+            return graph, kept
+        adjacency = csr.induced_adjacency(kept)
+        labels = [graph.label(vertex) for vertex in kept]
+        return Graph(adjacency, labels), kept
+
+    # ------------------------------------------------------------------ #
+    # Introspection and pickling
+    # ------------------------------------------------------------------ #
+    def cache_info(self) -> Dict[str, object]:
+        """Which artefacts have been materialised so far (for tests/logs)."""
+        return {
+            "csr": self._csr is not None,
+            "decomposition": self._decomposition is not None,
+            "core_levels": sorted(self._cores),
+        }
+
+    def __getstate__(self):
+        # Ship the computed artefacts so worker processes skip the
+        # preprocessing entirely; the lock is recreated on arrival.
+        return {
+            "graph": self._graph,
+            "csr": self._csr,
+            "decomposition": self._decomposition,
+            "position": self._position,
+            "cores": self._cores,
+        }
+
+    def __setstate__(self, state) -> None:
+        self._graph = state["graph"]
+        self._lock = threading.RLock()
+        self._csr = state["csr"]
+        self._decomposition = state["decomposition"]
+        self._position = state["position"]
+        self._cores = state["cores"]
+        # Re-attach to the unpickled graph so prepare() finds this index.
+        if self._graph._prepared is None:
+            self._graph._prepared = self
+
+    def __repr__(self) -> str:
+        info = self.cache_info()
+        return (
+            f"PreparedGraph(n={self._graph.num_vertices}, csr={info['csr']}, "
+            f"decomposition={info['decomposition']}, cores={info['core_levels']})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# CSR-backed peeling kernel
+# --------------------------------------------------------------------------- #
+def _csr_k_core_alive(csr: CSRGraph, k: int) -> bytearray:
+    """Alive flags of the ``k``-core (the unique maximal min-degree-k subgraph)."""
+    n = csr.num_vertices
+    offsets = csr.offsets
+    neighbors = csr.neighbors
+    degrees = csr.degrees()
+    alive = bytearray(b"\x01") * n
+    stack = [vertex for vertex in range(n) if degrees[vertex] < k]
+    for vertex in stack:
+        alive[vertex] = 0
+    while stack:
+        vertex = stack.pop()
+        for index in range(offsets[vertex], offsets[vertex + 1]):
+            other = neighbors[index]
+            if alive[other]:
+                degrees[other] -= 1
+                if degrees[other] < k:
+                    alive[other] = 0
+                    stack.append(other)
+    return alive

@@ -25,6 +25,7 @@ import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.branch import BranchSearcher, BranchState
@@ -34,7 +35,7 @@ from ..core.kplex import KPlex, validate_parameters
 from ..core.seeds import build_seed_context, iter_subtasks
 from ..core.stats import SearchStatistics
 from ..graph import Graph
-from ..graph.core_decomposition import core_decomposition, shrink_to_core
+from ..graph.prepared import PreparedGraph, prepare
 
 DEFAULT_TIMEOUT_SECONDS = 1e-4  # the paper's default τ_time = 0.1 ms
 
@@ -68,34 +69,57 @@ class ParallelConfig:
 # --------------------------------------------------------------------------- #
 # Worker-side state and functions (module level so they can be pickled)
 # --------------------------------------------------------------------------- #
-_WORKER_STATE: Dict[str, object] = {}
+@dataclass(frozen=True)
+class _WorkerState:
+    """Read-only state shared by the task groups of one parallel run.
+
+    Workers receive the driver's :class:`PreparedGraph` of the (q-k)-core —
+    including the CSR arrays and the finished degeneracy ordering — so no
+    worker repeats the graph-level preprocessing.
+    """
+
+    prepared: PreparedGraph
+    k: int
+    q: int
+    config: EnumerationConfig
+    timeout: Optional[float]
+
+
+#: Per-process state slot, filled once by the process-pool initializer.  The
+#: thread-pool path never touches it (each run binds its own state via
+#: functools.partial), so concurrent thread-mode runs cannot clobber each
+#: other.
+_PROCESS_STATE: List[Optional[_WorkerState]] = [None]
 
 
 def _initialise_worker(
-    graph: Graph,
+    prepared: PreparedGraph,
     k: int,
     q: int,
     config: EnumerationConfig,
     timeout: Optional[float],
 ) -> None:
-    """Store the shared read-only state once per worker process."""
-    decomposition = core_decomposition(graph)
-    _WORKER_STATE["graph"] = graph
-    _WORKER_STATE["k"] = k
-    _WORKER_STATE["q"] = q
-    _WORKER_STATE["config"] = config
-    _WORKER_STATE["timeout"] = timeout
-    _WORKER_STATE["position"] = decomposition.position()
+    """Process-pool initializer: store the state once per worker process."""
+    _PROCESS_STATE[0] = _WorkerState(prepared, k, q, config, timeout)
 
 
 def _mine_seed(seed_vertex: int) -> Tuple[List[Tuple[int, ...]], Dict[str, float]]:
+    """Process-pool entry point: mine one seed with the per-process state."""
+    state = _PROCESS_STATE[0]
+    assert state is not None, "worker process was not initialised"
+    return _mine_seed_with_state(state, seed_vertex)
+
+
+def _mine_seed_with_state(
+    state: _WorkerState, seed_vertex: int
+) -> Tuple[List[Tuple[int, ...]], Dict[str, float]]:
     """Mine the whole task group of one seed vertex inside a worker."""
-    graph: Graph = _WORKER_STATE["graph"]  # type: ignore[assignment]
-    k: int = _WORKER_STATE["k"]  # type: ignore[assignment]
-    q: int = _WORKER_STATE["q"]  # type: ignore[assignment]
-    config: EnumerationConfig = _WORKER_STATE["config"]  # type: ignore[assignment]
-    timeout: Optional[float] = _WORKER_STATE["timeout"]  # type: ignore[assignment]
-    position: Sequence[int] = _WORKER_STATE["position"]  # type: ignore[assignment]
+    graph = state.prepared.graph
+    k = state.k
+    q = state.q
+    config = state.config
+    timeout = state.timeout
+    position: Sequence[int] = state.prepared.position
 
     stats = SearchStatistics()
     results: List[Tuple[int, ...]] = []
@@ -150,16 +174,30 @@ def _enumerate_parallel(
     parallel = parallel or ParallelConfig()
     started = time.perf_counter()
 
-    core_graph, core_map = shrink_to_core(graph, q - k)
+    # Graph-level preprocessing, all served by (and cached in) the prepared
+    # index: core shrinking, degeneracy ordering and the CSR arrays that are
+    # shipped to the workers.
+    prepared_core, core_map = prepare(graph).prepared_core(q - k)
+    core_graph = prepared_core.graph
     merged_stats = SearchStatistics()
+    merged_stats.preprocess_seconds = time.perf_counter() - started
     kplexes: List[KPlex] = []
 
     if core_graph.num_vertices >= q:
-        decomposition = core_decomposition(core_graph)
-        seeds = decomposition.order
+        seeds = prepared_core.decomposition.order
+        # Materialise the position index before pickling so no worker
+        # recomputes the ordering; this is still preprocessing time.
+        prepared_core.position
+        merged_stats.preprocess_seconds = time.perf_counter() - started
         stage = parallel.stage_size or parallel.num_workers
         executor_class = ProcessPoolExecutor if parallel.use_processes else ThreadPoolExecutor
-        init_args = (core_graph, k, q, parallel.enumeration, parallel.timeout_seconds)
+        init_args = (
+            prepared_core.for_worker_transfer(),
+            k,
+            q,
+            parallel.enumeration,
+            parallel.timeout_seconds,
+        )
 
         if parallel.use_processes:
             pool = executor_class(
@@ -167,14 +205,17 @@ def _enumerate_parallel(
                 initializer=_initialise_worker,
                 initargs=init_args,
             )
+            mine = _mine_seed
         else:
-            _initialise_worker(*init_args)
+            # Bind this run's state directly instead of going through the
+            # per-process slot, so concurrent thread-mode runs are isolated.
+            mine = partial(_mine_seed_with_state, _WorkerState(*init_args))
             pool = executor_class(max_workers=parallel.num_workers)
 
         try:
             for start in range(0, len(seeds), stage):
                 block = seeds[start : start + stage]
-                for seed_results, stats_dict in pool.map(_mine_seed, block):
+                for seed_results, stats_dict in pool.map(mine, block):
                     merged_stats.merge(_stats_from_dict(stats_dict))
                     for core_vertices in seed_results:
                         original = [core_map[v] for v in core_vertices]
@@ -184,6 +225,9 @@ def _enumerate_parallel(
 
     kplexes.sort(key=lambda plex: (plex.size, plex.vertices))
     merged_stats.elapsed_seconds = time.perf_counter() - started
+    merged_stats.search_seconds = (
+        merged_stats.elapsed_seconds - merged_stats.preprocess_seconds
+    )
     merged_stats.outputs = len(kplexes)
     return EnumerationResult(
         kplexes=kplexes,

@@ -1,0 +1,105 @@
+"""Serving layer — repeated-workload replay through the KPlexService.
+
+The ROADMAP's service scenario is many clients asking the same questions
+over the same graphs.  PR 2's prepared-graph index already removed the
+repeated *preprocessing*; the serving layer's cross-request ResultCache
+removes the repeated *search*: an interleaved round-robin replay
+(A B C A B C ...) pays each distinct (graph, k, q) cell once and serves
+every further round from the cache.
+
+This bench replays the repeated-query workload twice — through a bare
+:class:`KPlexEngine` (prepared index warm, so this is the strongest
+cache-less baseline) and through a :class:`KPlexService` — and gates the
+headline: at least a 5x total-time win.  A second scenario replays through
+a service with a deliberately tiny byte budget and asserts the eviction
+machinery keeps the cache within it.
+"""
+
+import time
+
+from repro.analysis.reporting import render_table
+from repro.api import KPlexEngine
+from repro.datasets import load_dataset
+from repro.experiments.workloads import service_replay_workloads
+from repro.service import KPlexService, ServiceConfig
+
+from _bench_utils import run_once
+
+REPEATS = 12
+
+
+def _load_graphs(workloads):
+    graphs = {}
+    for workload in workloads:
+        if workload.dataset not in graphs:
+            graphs[workload.dataset] = load_dataset(workload.dataset)
+    return graphs
+
+
+def _bare_replay_seconds(workloads, graphs) -> float:
+    engine = KPlexEngine()
+    for name, graph in graphs.items():
+        engine.prepare(graph)  # same warm starting line as the service
+    started = time.perf_counter()
+    for workload in workloads:
+        engine.solve(workload.to_request(graph=graphs[workload.dataset]))
+    return time.perf_counter() - started
+
+
+def _service_replay_seconds(workloads, graphs, config=None):
+    service = KPlexService(config=config or ServiceConfig(max_workers=2))
+    for name, graph in graphs.items():
+        service.catalog.register(name, graph)
+    started = time.perf_counter()
+    for workload in workloads:
+        service.solve(workload.dataset, k=workload.k, q=workload.q)
+    elapsed = time.perf_counter() - started
+    metrics = service.metrics()
+    service.close()
+    return elapsed, metrics
+
+
+def test_bench_service_cache_repeated_workload(benchmark, scale):
+    workloads = service_replay_workloads(scale, repeats=REPEATS)
+
+    def run():
+        graphs = _load_graphs(workloads)
+        bare_seconds = _bare_replay_seconds(workloads, graphs)
+        service_seconds, metrics = _service_replay_seconds(workloads, graphs)
+        return {
+            "requests": len(workloads),
+            "bare_engine_seconds": round(bare_seconds, 4),
+            "service_seconds": round(service_seconds, 4),
+            "speedup": round(bare_seconds / service_seconds, 2)
+            if service_seconds
+            else 0.0,
+            "hit_rate": round(metrics["hit_rate"], 3),
+            "p95_ms": round(metrics["latency_p95_seconds"] * 1e3, 3),
+        }
+
+    row = run_once(benchmark, run)
+    print()
+    print(render_table([row], title="Service cache — repeated-workload replay"))
+    # The replay repeats every cell REPEATS times; all but the first round
+    # are pure cache hits, so anything close to the bare engine means the
+    # cache path is broken.  5x leaves a wide margin on shared runners.
+    assert row["speedup"] >= 5.0, row
+    assert row["hit_rate"] >= 0.8, row
+
+
+def test_bench_service_cache_respects_byte_budget(scale):
+    workloads = service_replay_workloads(scale, repeats=3)
+    graphs = _load_graphs(workloads)
+    budget = 48 * 1024  # deliberately too small for every distinct answer
+    config = ServiceConfig(
+        max_workers=2,
+        result_cache_entries=None,
+        result_cache_bytes=budget,
+    )
+    _elapsed, metrics = _service_replay_seconds(workloads, graphs, config=config)
+    cache_stats = metrics["result_cache"]
+    assert cache_stats["current_bytes"] <= budget, cache_stats
+    # The budget must actually have been exercised: something was stored and
+    # something was pushed out (or rejected as oversized).
+    assert cache_stats["stores"] > 0, cache_stats
+    assert cache_stats["evictions"] + cache_stats["rejected_oversized"] > 0, cache_stats

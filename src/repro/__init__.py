@@ -53,7 +53,16 @@ from .core import (
     is_kplex,
     is_maximal_kplex,
 )
-from .errors import DatasetError, FormatError, GraphError, ParameterError, ReproError
+from .errors import (
+    CatalogError,
+    DatasetError,
+    FormatError,
+    GraphError,
+    ParameterError,
+    ReproError,
+    ServiceError,
+    ServiceOverloadError,
+)
 from .graph import CSRGraph, Graph, PreparedGraph
 from .parallel import ParallelConfig, parallel_enumerate_maximal_kplexes
 from .api import (
@@ -67,8 +76,16 @@ from .api import (
     register_solver,
     solver_names,
 )
+from .service import (
+    GraphCatalog,
+    KPlexService,
+    ResultCache,
+    SeedContextCache,
+    ServiceConfig,
+    ServiceMetrics,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Graph",
@@ -96,10 +113,19 @@ __all__ = [
     "is_maximal_kplex",
     "ParallelConfig",
     "parallel_enumerate_maximal_kplexes",
+    "KPlexService",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "GraphCatalog",
+    "ResultCache",
+    "SeedContextCache",
     "ReproError",
     "GraphError",
     "ParameterError",
     "DatasetError",
     "FormatError",
+    "ServiceError",
+    "CatalogError",
+    "ServiceOverloadError",
     "__version__",
 ]

@@ -58,7 +58,16 @@ class _ConfigurableSolver(Solver):
         config = self._effective_config(request)
         if request.query_vertices is not None:
             return self._start_query(request, config)
-        enumerator = KPlexEnumerator(request.graph, request.k, request.q, config)
+        enumerator = KPlexEnumerator(
+            request.graph,
+            request.k,
+            request.q,
+            config,
+            # Serving-layer option: a cross-request SeedContextCache injected
+            # by KPlexService (see repro.service); plain requests leave it
+            # unset and behave exactly as before.
+            seed_context_cache=request.options.get("seed_context_cache"),
+        )
         return SolverRun(
             results=enumerator.iter_results(),
             statistics=lambda: enumerator.statistics,

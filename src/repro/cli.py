@@ -11,7 +11,11 @@ any Python; every mining command is routed through the
 * ``kplex-enum solvers`` — list the registered solver backends;
 * ``kplex-enum datasets`` — list the bundled surrogate datasets (Table 2);
 * ``kplex-enum experiment table3`` — run one of the paper's experiments and
-  print the reproduced table or figure series.
+  print the reproduced table or figure series;
+* ``kplex-enum serve WORKLOAD.jsonl`` — replay a JSONL request workload
+  through the caching :class:`repro.service.KPlexService` (graph catalog,
+  worker pool, cross-request result cache) and emit JSONL responses plus a
+  metrics snapshot.
 """
 
 from __future__ import annotations
@@ -134,6 +138,68 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument(
         "--scale", default="quick", choices=["quick", "full"], help="workload scale"
     )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="replay a JSONL workload through the caching enumeration service",
+        description=(
+            "Each input line is one request: "
+            '{"graph": NAME, "k": K, "q": Q[, "solver": S, "variant": V, '
+            '"timeout": SEC, "max_results": N, "query": [labels...]]}. '
+            "Graphs are resolved against the service catalog: use --register "
+            "to name files or datasets up front; 'dataset:<name>' specs are "
+            "auto-registered on first use. Responses are emitted as JSONL in "
+            "request order, followed by a service-metrics snapshot."
+        ),
+    )
+    serve_parser.add_argument(
+        "workload", help="JSONL request file ('-' reads standard input)"
+    )
+    serve_parser.add_argument(
+        "--register",
+        action="append",
+        default=[],
+        metavar="NAME=SPEC",
+        help="register a catalog graph (SPEC: file path or dataset:<name>); repeatable",
+    )
+    serve_parser.add_argument(
+        "--format", default="auto", choices=["auto", "edgelist", "dimacs", "metis"],
+        help="file format for --register file specs",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=4, help="service worker threads (default: 4)"
+    )
+    serve_parser.add_argument(
+        "--queue-depth", type=int, default=32,
+        help="admitted requests allowed to wait beyond the workers (default: 32)",
+    )
+    serve_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="default per-request wall-clock budget",
+    )
+    serve_parser.add_argument(
+        "--cache-entries", type=int, default=256,
+        help="result-cache entry budget (0 disables the cache)",
+    )
+    serve_parser.add_argument(
+        "--cache-bytes", type=int, default=64 * 1024 * 1024,
+        help="result-cache byte budget (default: 64 MiB)",
+    )
+    serve_parser.add_argument(
+        "--core-budget", type=int, default=None, metavar="LEVELS",
+        help="per-graph cap on retained prepared core(level) subgraphs",
+    )
+    serve_parser.add_argument(
+        "--no-results", action="store_true",
+        help="omit the k-plex vertex lists from the response lines",
+    )
+    serve_parser.add_argument(
+        "--output", default=None, help="write response lines to a file instead of stdout"
+    )
+    serve_parser.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="also write the final metrics snapshot to FILE as JSON",
+    )
     return parser
 
 
@@ -236,12 +302,120 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _iter_workload_lines(path: str):
+    if path == "-":
+        yield from enumerate(sys.stdin, start=1)
+        return
+    with open(path, "r", encoding="utf-8") as handle:
+        yield from enumerate(handle, start=1)
+
+
+def _serve_request(service, spec: dict, fmt: str):
+    """Build one EnumerationRequest from a workload JSON object."""
+    from .errors import CatalogError
+
+    if not isinstance(spec, dict):
+        raise ReproError(f"workload lines must be JSON objects, got {type(spec).__name__}")
+    unknown = set(spec) - {
+        "graph", "k", "q", "solver", "variant", "timeout", "max_results", "query"
+    }
+    if unknown:
+        raise ReproError(f"unknown workload keys {sorted(unknown)}")
+    for required in ("graph", "k", "q"):
+        if required not in spec:
+            raise ReproError(f"workload line is missing the {required!r} key")
+    name = spec["graph"]
+    try:
+        graph = service.catalog.get(name)
+    except CatalogError:
+        # dataset:<x> specs are self-describing; register lazily so simple
+        # workloads need no --register flags at all.
+        if isinstance(name, str) and name.startswith("dataset:"):
+            service.catalog.register(name, name, fmt=fmt)
+            graph = service.catalog.get(name)
+        else:
+            raise
+    kwargs = {}
+    if spec.get("solver") is not None:
+        kwargs["solver"] = spec["solver"]
+    if spec.get("variant") is not None:
+        kwargs["variant"] = spec["variant"]
+    if spec.get("timeout") is not None:
+        kwargs["timeout_seconds"] = spec["timeout"]
+    if spec.get("max_results") is not None:
+        kwargs["max_results"] = spec["max_results"]
+    if spec.get("query") is not None:
+        kwargs["query_vertices"] = tuple(
+            _parse_query_labels(graph, spec["query"])
+        )
+    return EnumerationRequest(graph=graph, k=spec["k"], q=spec["q"], **kwargs)
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from .service import KPlexService, ServiceConfig
+
+    config = ServiceConfig(
+        max_workers=args.workers,
+        max_queue_depth=args.queue_depth,
+        default_timeout_seconds=args.timeout,
+        result_cache_entries=args.cache_entries,
+        result_cache_bytes=args.cache_bytes,
+        prepared_core_budget=args.core_budget,
+    )
+    with KPlexService(config=config) as service:
+        for registration in args.register:
+            name, separator, spec = registration.partition("=")
+            if not separator or not name or not spec:
+                raise ReproError(
+                    f"--register expects NAME=SPEC, got {registration!r}"
+                )
+            service.catalog.register(name, spec, fmt=args.format)
+
+        requests = []
+        for line_number, raw in _iter_workload_lines(args.workload):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                spec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ReproError(f"workload line {line_number}: invalid JSON ({exc})")
+            requests.append((line_number, spec))
+
+        out = open(args.output, "w", encoding="utf-8") if args.output else sys.stdout
+        try:
+            responses = service.solve_many(
+                [_serve_request(service, spec, args.format) for _line, spec in requests]
+            )
+            for (line_number, spec), response in zip(requests, responses):
+                payload = {"id": line_number, "graph": spec["graph"]}
+                payload.update(response.as_dict(include_results=not args.no_results))
+                out.write(json.dumps(payload, default=str) + "\n")
+        finally:
+            if out is not sys.stdout:
+                out.close()
+
+        metrics = service.metrics()
+    summary = (
+        f"served {len(requests)} requests: "
+        f"{metrics['cache_hits']} hits, {metrics['cache_misses']} misses, "
+        f"{metrics['coalesced']} coalesced, hit rate {metrics['hit_rate']:.2f}"
+    )
+    print(summary, file=sys.stderr)
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            json.dump(metrics, handle, indent=2, sort_keys=True, default=str)
+            handle.write("\n")
+    return 0
+
+
 _COMMANDS = {
     "enumerate": _command_enumerate,
     "query": _command_query,
     "solvers": _command_solvers,
     "datasets": _command_datasets,
     "experiment": _command_experiment,
+    "serve": _command_serve,
 }
 
 

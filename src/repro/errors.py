@@ -19,3 +19,15 @@ class DatasetError(ReproError):
 
 class FormatError(ReproError):
     """Raised when a graph file cannot be parsed in the requested format."""
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the serving layer (:mod:`repro.service`)."""
+
+
+class CatalogError(ServiceError):
+    """Raised for graph-catalog lifecycle problems (unknown/duplicate names, bad sources)."""
+
+
+class ServiceOverloadError(ServiceError):
+    """Raised when admission control rejects a request (worker pool and queue full)."""

@@ -174,6 +174,32 @@ def memory_workloads(scale: str = SCALE_QUICK) -> List[Workload]:
     return _social_workloads(datasets, [(3, 20)])
 
 
+# Repeated-query traffic for the serving layer: a small set of (dataset, k, q)
+# cells, each hit many times per replay.  The mix interleaves the cells
+# (A B C A B C ...) so the cache must hold several keys at once — a round-robin
+# replay, not a burst per key.
+_SERVICE_QUICK = [("jazz", 2, 8), ("wiki-vote", 2, 10), ("wiki-vote", 3, 12)]
+_SERVICE_FULL = _SERVICE_QUICK + [("soc-epinions", 2, 8), ("as-caida", 2, 6)]
+
+
+def service_replay_workloads(
+    scale: str = SCALE_QUICK, repeats: int = 10
+) -> List[Workload]:
+    """Workloads of the serving-layer benchmarks: repeated-query traffic.
+
+    Returns ``repeats`` interleaved rounds over the scale's ``(dataset, k,
+    q)`` cells — the request stream a :class:`repro.service.KPlexService`
+    sees from clients that ask the same questions over and over.  The first
+    round misses every cache; the remaining ``repeats - 1`` rounds are pure
+    reuse, which is what the cache benchmarks gate on.
+    """
+    cells = _SERVICE_FULL if scale == SCALE_FULL else _SERVICE_QUICK
+    workloads = [
+        Workload(dataset=dataset, k=k, q=q, paper_q=q) for dataset, k, q in cells
+    ]
+    return [workload for _ in range(repeats) for workload in workloads]
+
+
 def speedup_worker_counts(scale: str = SCALE_QUICK) -> List[int]:
     """Thread counts of Figure 8."""
     return [1, 2, 4, 8, 16]

@@ -40,6 +40,7 @@ class Graph:
         "_num_edges",
         "_degrees",
         "_prepared",
+        "_epoch",
         "__weakref__",
     )
 
@@ -74,6 +75,10 @@ class Graph:
         # Lazily attached repro.graph.prepared.PreparedGraph; lives and dies
         # with this object so repeated queries reuse the preprocessing.
         self._prepared = None
+        # Cache-coherency counter for the serving layer: any out-of-band
+        # change to this object (or an explicit invalidation) bumps it, so
+        # result caches keyed by (graph, epoch) can never serve stale data.
+        self._epoch = 0
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -221,6 +226,29 @@ class Graph:
         labels = [self._labels[v] for v in kept]
         return Graph(adjacency, labels), kept
 
+    @property
+    def epoch(self) -> int:
+        """Monotonic change counter used as a cache-coherency token.
+
+        Result caches key their entries by ``(graph, graph.epoch)``; bumping
+        the epoch (see :meth:`bump_epoch` and
+        :func:`repro.graph.prepared.invalidate`) retires every cached
+        artefact derived from the previous state of the graph.
+        """
+        return self._epoch
+
+    def bump_epoch(self) -> int:
+        """Advance the epoch after an out-of-band change and return it.
+
+        The graph is designed to be immutable, so callers that nevertheless
+        replace internal state (dataset reloads, test harnesses) must bump
+        the epoch so caches keyed by it stop serving results computed from
+        the previous structure.  :func:`repro.graph.prepared.invalidate`
+        calls this automatically.
+        """
+        self._epoch += 1
+        return self._epoch
+
     def degrees(self) -> List[int]:
         """Return all vertex degrees indexed by vertex id.
 
@@ -248,6 +276,9 @@ class Graph:
         self._num_edges = sum(len(neigh) for neigh in adjacency) // 2
         self._degrees = None
         self._prepared = None
+        # The epoch is a per-process cache token, not part of the graph's
+        # value; unpickled copies start a fresh epoch sequence.
+        self._epoch = 0
 
     def __len__(self) -> int:
         return self.num_vertices

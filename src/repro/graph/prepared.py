@@ -28,6 +28,7 @@ the index must reference its graph.)
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 from .core_decomposition import CoreDecomposition, set_backed_core_decomposition
@@ -37,12 +38,18 @@ from .graph import Graph
 _LOCK = threading.Lock()
 
 
-def prepare(graph: Graph) -> "PreparedGraph":
+def prepare(graph: Graph, max_core_levels: Optional[int] = None) -> "PreparedGraph":
     """Return the (lazily filled) prepared index of ``graph``.
 
     Repeated calls with the same graph object return the same index; all
     engine entry points route their preprocessing through it, so a second
     request on a graph pays none of the structure-building cost again.
+
+    ``max_core_levels`` optionally (re)configures the index's core-level
+    memory budget: at most that many *distinct* shrunk ``core(level)``
+    subgraphs are kept, evicted LRU-first (see
+    :meth:`PreparedGraph.set_core_budget`).  Passing ``None`` leaves an
+    existing budget untouched.
     """
     prepared = graph._prepared
     if prepared is None:
@@ -51,29 +58,39 @@ def prepare(graph: Graph) -> "PreparedGraph":
             if prepared is None:
                 prepared = PreparedGraph(graph)
                 graph._prepared = prepared
+    if max_core_levels is not None:
+        prepared.set_core_budget(max_core_levels)
     return prepared
 
 
 def invalidate(graph: Graph) -> None:
-    """Drop every cached artefact of ``graph`` (tests and benchmarks only).
+    """Drop every cached artefact of ``graph`` and bump its epoch.
 
     Clears the prepared index and the cached degree sequence, so a
-    subsequent request measures a genuinely cold start.
+    subsequent request measures a genuinely cold start.  The epoch bump
+    additionally retires every cross-request cache entry keyed by
+    ``(graph, epoch)`` — after an invalidation no serving-layer cache can
+    hand out results computed from the previous state.
     """
     graph._prepared = None
     graph._degrees = None
+    graph.bump_epoch()
 
 
 class PreparedGraph:
     """Cached structural indexes of one graph (see module docstring)."""
 
-    def __init__(self, graph: Graph) -> None:
+    def __init__(self, graph: Graph, max_core_levels: Optional[int] = None) -> None:
         self._graph = graph
         self._lock = threading.RLock()
         self._csr: Optional[CSRGraph] = None
         self._decomposition: Optional[CoreDecomposition] = None
         self._position: Optional[List[int]] = None
-        self._cores: Dict[int, Tuple[Graph, List[int]]] = {}
+        # LRU over core levels: entries move to the end on every hit so the
+        # optional memory budget evicts the least recently used level first.
+        self._cores: "OrderedDict[int, Tuple[Graph, List[int]]]" = OrderedDict()
+        self._max_core_levels = max_core_levels
+        self._core_evictions = 0
 
     # ------------------------------------------------------------------ #
     # Cached artefacts
@@ -137,15 +154,73 @@ class PreparedGraph:
         no vertex is peeled the graph itself is returned (with an identity
         map), which chains the prepared indexes: preparing the core is then
         the same cache entry as preparing the graph.
+
+        Services mixing many ``q`` values can cap how many distinct shrunk
+        cores are retained with :meth:`set_core_budget`; identity entries
+        (level did not peel anything) are exempt because they carry no graph
+        payload of their own and keep the identity-shortcut chain shared.
         """
-        entry = self._cores.get(minimum_degree)
-        if entry is None:
-            with self._lock:
-                entry = self._cores.get(minimum_degree)
-                if entry is None:
-                    entry = self._build_core(minimum_degree)
-                    self._cores[minimum_degree] = entry
+        with self._lock:
+            entry = self._cores.get(minimum_degree)
+            if entry is None:
+                entry = self._build_core(minimum_degree)
+                self._cores[minimum_degree] = entry
+            else:
+                self._cores.move_to_end(minimum_degree)
+            self._enforce_core_budget()
         return entry
+
+    def set_core_budget(self, max_core_levels: Optional[int]) -> None:
+        """Cap the number of retained *distinct* shrunk core subgraphs.
+
+        ``None`` removes the cap.  Identity entries — levels where nothing
+        was peeled, so :meth:`core` returned the graph itself — do not count
+        against (and are never evicted by) the budget: they hold only an
+        identity vertex map, and keeping them preserves the chained
+        identity-shortcut semantics (``prepared_core`` of such a level *is*
+        this index).  Eviction is LRU and is recorded in
+        :meth:`core_budget_info`; an evicted level is simply recomputed on
+        the next request, so correctness is unaffected.
+        """
+        if max_core_levels is not None and max_core_levels < 0:
+            raise ValueError(
+                f"max_core_levels must be non-negative or None, got {max_core_levels}"
+            )
+        with self._lock:
+            self._max_core_levels = max_core_levels
+            self._enforce_core_budget()
+
+    def _enforce_core_budget(self) -> None:
+        """Evict LRU non-identity core entries until the budget holds."""
+        budget = self._max_core_levels
+        if budget is None:
+            return
+        while True:
+            distinct = [
+                level
+                for level, (core_graph, _) in self._cores.items()
+                if core_graph is not self._graph
+            ]
+            if len(distinct) <= budget:
+                return
+            # OrderedDict iteration order is LRU-first.
+            del self._cores[distinct[0]]
+            self._core_evictions += 1
+
+    def core_budget_info(self) -> Dict[str, object]:
+        """Budget telemetry: cap, retained/identity level counts, evictions."""
+        with self._lock:
+            identity_levels = [
+                level
+                for level, (core_graph, _) in self._cores.items()
+                if core_graph is self._graph
+            ]
+            return {
+                "max_core_levels": self._max_core_levels,
+                "distinct_levels": len(self._cores) - len(identity_levels),
+                "identity_levels": sorted(identity_levels),
+                "evictions": self._core_evictions,
+            }
 
     def prepared_core(self, minimum_degree: int) -> Tuple["PreparedGraph", List[int]]:
         """Like :meth:`core` but returning the core's own prepared index.
@@ -201,6 +276,7 @@ class PreparedGraph:
             "decomposition": self._decomposition,
             "position": self._position,
             "cores": self._cores,
+            "core_budget": self._max_core_levels,
         }
 
     def __setstate__(self, state) -> None:
@@ -209,7 +285,9 @@ class PreparedGraph:
         self._csr = state["csr"]
         self._decomposition = state["decomposition"]
         self._position = state["position"]
-        self._cores = state["cores"]
+        self._cores = OrderedDict(state["cores"])
+        self._max_core_levels = state.get("core_budget")
+        self._core_evictions = 0
         # Re-attach to the unpickled graph so prepare() finds this index.
         if self._graph._prepared is None:
             self._graph._prepared = self

@@ -1,0 +1,394 @@
+"""Cross-request caches with memory budgets (the ROADMAP's reuse items).
+
+Two cache tiers sit behind :class:`~repro.service.service.KPlexService`:
+
+* :class:`ResultCache` — completed :class:`EnumerationResponse` objects,
+  keyed by ``(graph identity, graph epoch, solver, k, q, config signature,
+  query, result budget)``.  A hit skips the whole search.
+* :class:`SeedContextCache` — the per-seed subgraph contexts built by
+  Algorithm 2, keyed by ``(graph identity, graph epoch, k, q, config)``.
+  A hit skips the seed-subgraph construction (two-hop expansion, Corollary
+  5.2 shrinking, pair matrix) even when the full result cannot be reused —
+  e.g. after a result-cache eviction or for a different ``max_results``.
+
+Both tiers share one LRU core governed by a configurable **memory budget**:
+an entry-count cap and/or a byte cap fed by the estimators in
+:mod:`repro.service.sizing`.  Eviction statistics are part of each tier's
+``stats()`` so the service metrics can report them.
+
+Keys embed the graph's *epoch* (see :meth:`repro.graph.graph.Graph.epoch`):
+any invalidation bumps the epoch, so entries computed from a previous state
+of a graph can never be served again — they simply age out of the LRU.
+Entries hold strong references to their graph (via the stored response or
+explicitly), which pins the ``id(graph)`` component of the key for exactly
+as long as the entry lives.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+from ..api.registry import get_solver
+from ..api.request import EnumerationRequest
+from ..api.response import (
+    TERMINATION_COMPLETED,
+    TERMINATION_RESULT_LIMIT,
+    EnumerationResponse,
+)
+from ..core.config import EnumerationConfig
+from ..core.seeds import SeedContext
+from ..graph import Graph
+from .sizing import estimate_response_bytes, estimate_seed_context_bytes
+
+#: Request options consumed by the serving layer itself; they must not leak
+#: into cache keys (they are per-process objects, not request parameters).
+_INTERNAL_OPTIONS = frozenset({"seed_context_cache"})
+
+
+class ByteBudgetLRU:
+    """Thread-safe LRU bounded by an entry count and/or a byte budget.
+
+    Subclasses (or composition) provide the key derivation and the per-value
+    byte estimate; this core owns ordering, eviction and statistics.  A
+    value whose estimate alone exceeds the byte budget is rejected outright
+    (recorded as ``rejected_oversized``) instead of wiping the whole cache.
+    """
+
+    def __init__(
+        self,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 0:
+            raise ValueError(f"max_entries must be non-negative, got {max_entries}")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be non-negative, got {max_bytes}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Tuple[object, int]]" = OrderedDict()
+        self._current_bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._stores = 0
+        self._evictions = 0
+        self._rejected_oversized = 0
+
+    # ------------------------------------------------------------------ #
+    # Core operations
+    # ------------------------------------------------------------------ #
+    def get(self, key: Hashable) -> Optional[object]:
+        """Return the cached value or ``None``; hits refresh LRU recency."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry[0]
+
+    def put(self, key: Hashable, value: object, nbytes: int) -> bool:
+        """Insert ``value`` under ``key``; returns ``False`` when rejected."""
+        if self.max_bytes is not None and nbytes > self.max_bytes:
+            with self._lock:
+                self._rejected_oversized += 1
+            return False
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._current_bytes -= previous[1]
+            self._entries[key] = (value, nbytes)
+            self._current_bytes += nbytes
+            self._stores += 1
+            self._evict_locked()
+            return key in self._entries
+
+    def _evict_locked(self) -> None:
+        while (
+            self.max_entries is not None and len(self._entries) > self.max_entries
+        ) or (self.max_bytes is not None and self._current_bytes > self.max_bytes):
+            if not self._entries:
+                return
+            _key, (_value, nbytes) = self._entries.popitem(last=False)
+            self._current_bytes -= nbytes
+            self._evictions += 1
+
+    def remove_where(self, predicate: Callable[[Hashable, object], bool]) -> int:
+        """Drop every entry matching ``predicate(key, value)``; return the count."""
+        with self._lock:
+            doomed = [
+                key
+                for key, (value, _nbytes) in self._entries.items()
+                if predicate(key, value)
+            ]
+            for key in doomed:
+                _value, nbytes = self._entries.pop(key)
+                self._current_bytes -= nbytes
+            return len(doomed)
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are preserved)."""
+        with self._lock:
+            self._entries.clear()
+            self._current_bytes = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def current_bytes(self) -> int:
+        """Estimated bytes currently held (sum of entry estimates)."""
+        with self._lock:
+            return self._current_bytes
+
+    def stats(self) -> Dict[str, object]:
+        """Counters and occupancy snapshot for metrics endpoints."""
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "entries": len(self._entries),
+                "current_bytes": self._current_bytes,
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+                "hits": self._hits,
+                "misses": self._misses,
+                "hit_rate": (self._hits / total) if total else 0.0,
+                "stores": self._stores,
+                "evictions": self._evictions,
+                "rejected_oversized": self._rejected_oversized,
+            }
+
+
+# --------------------------------------------------------------------------- #
+# Key derivation helpers
+# --------------------------------------------------------------------------- #
+def _options_signature(request: EnumerationRequest) -> Tuple[Tuple[str, str], ...]:
+    """Hashable, order-insensitive digest of the solver-specific options."""
+    return tuple(
+        sorted(
+            (key, repr(value))
+            for key, value in request.options.items()
+            if key not in _INTERNAL_OPTIONS
+        )
+    )
+
+
+def _effective_config(request: EnumerationRequest) -> Optional[EnumerationConfig]:
+    # EnumerationConfig is a frozen dataclass, hence hashable and comparable
+    # by value.  For the configurable solvers the *effective* default is
+    # resolved so that e.g. variant="ours" and no variant key identically;
+    # fixed-strategy solvers keep None (they reject overrides anyway).
+    config = request.resolved_config()
+    if config is None:
+        from ..api.solvers import _ConfigurableSolver  # local: import cycle
+
+        solver_cls = get_solver(request.solver)
+        if issubclass(solver_cls, _ConfigurableSolver):
+            config = solver_cls()._effective_config(request)
+    return config
+
+
+def result_cache_key(request: EnumerationRequest) -> Hashable:
+    """The cross-request identity of a request's *completed* answer.
+
+    Everything that can change the result set participates: the graph (by
+    identity *and* epoch), the solver (canonical registry name, so aliases
+    share entries), ``k``/``q``, the effective configuration, the query
+    anchor, the result budget and the sort order.  The timeout deliberately
+    does not — only runs that finished within their budget are stored, and a
+    completed answer is the same for every timeout.
+    """
+    graph = request.graph
+    return (
+        id(graph),
+        graph.epoch,
+        get_solver(request.solver).name,
+        request.k,
+        request.q,
+        _effective_config(request),
+        request.query_vertices,
+        request.max_results,
+        request.sort_results,
+        _options_signature(request),
+    )
+
+
+#: Termination reasons whose result sets are deterministic and reusable.
+_CACHEABLE_TERMINATIONS = (TERMINATION_COMPLETED, TERMINATION_RESULT_LIMIT)
+
+
+class ResultCache:
+    """LRU of completed :class:`EnumerationResponse` objects (tier 1).
+
+    Only responses that ran to completion (or hit their explicit
+    ``max_results`` budget, which is part of the key) are stored; timed-out
+    and cancelled runs are partial and never reused.  Hits return the shared
+    response object — treat it as read-only, like every other cache entry in
+    this repository.
+    """
+
+    def __init__(
+        self,
+        max_entries: Optional[int] = 256,
+        max_bytes: Optional[int] = 64 * 1024 * 1024,
+    ) -> None:
+        self._lru = ByteBudgetLRU(max_entries=max_entries, max_bytes=max_bytes)
+
+    def lookup(
+        self, request: EnumerationRequest, key: Optional[Hashable] = None
+    ) -> Optional[EnumerationResponse]:
+        """Return the cached response for an equivalent request, if any.
+
+        ``key`` lets callers that already derived :func:`result_cache_key`
+        skip re-deriving it.
+        """
+        value = self._lru.get(result_cache_key(request) if key is None else key)
+        return value  # type: ignore[return-value]
+
+    def store(
+        self,
+        request: EnumerationRequest,
+        response: EnumerationResponse,
+        key: Optional[Hashable] = None,
+    ) -> bool:
+        """Store a finished response; returns ``False`` when not cacheable.
+
+        Callers that computed the key *before* running the request should
+        pass it here: the key snapshots the graph's epoch at admission time,
+        so an ``invalidate()`` racing with the run strands the entry under
+        the old epoch instead of publishing a pre-invalidation answer under
+        the fresh one.
+        """
+        if response.termination not in _CACHEABLE_TERMINATIONS:
+            return False
+        return self._lru.put(
+            result_cache_key(request) if key is None else key,
+            response,
+            estimate_response_bytes(response),
+        )
+
+    def invalidate_graph(self, graph: Graph) -> int:
+        """Eagerly drop every entry computed from ``graph`` (any epoch)."""
+        target = id(graph)
+        return self._lru.remove_where(
+            lambda key, value: key[0] == target
+            and value.request.graph is graph  # type: ignore[union-attr]
+        )
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._lru.clear()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    @property
+    def current_bytes(self) -> int:
+        """Estimated bytes currently held."""
+        return self._lru.current_bytes
+
+    def stats(self) -> Dict[str, object]:
+        """Hit/miss/eviction counters plus occupancy."""
+        return self._lru.stats()
+
+
+class SeedContextCache:
+    """LRU of materialised per-seed contexts (tier 2, the ROADMAP item).
+
+    One entry is the complete, ordered list of non-empty
+    :class:`~repro.core.seeds.SeedContext` objects of one
+    ``(graph, k, q, config)`` run — exactly what Algorithm 2 rebuilds from
+    scratch on every request.  :class:`~repro.core.enumerator.KPlexEnumerator`
+    fills an entry only when its seed sweep ran to completion and replays it
+    on later runs; contexts are read-only during the search (the parallel
+    executor already shares them across threads), so concurrent replays are
+    safe.
+    """
+
+    def __init__(
+        self,
+        max_entries: Optional[int] = 64,
+        max_bytes: Optional[int] = 32 * 1024 * 1024,
+    ) -> None:
+        self._lru = ByteBudgetLRU(max_entries=max_entries, max_bytes=max_bytes)
+
+    @staticmethod
+    def _key(
+        graph: Graph,
+        k: int,
+        q: int,
+        config: EnumerationConfig,
+        epoch: Optional[int],
+    ) -> Hashable:
+        return (id(graph), graph.epoch if epoch is None else epoch, k, q, config)
+
+    def get(
+        self,
+        graph: Graph,
+        k: int,
+        q: int,
+        config: EnumerationConfig,
+        epoch: Optional[int] = None,
+    ) -> Optional[List[SeedContext]]:
+        """Return the cached seed contexts of an equivalent run, if any."""
+        entry = self._lru.get(self._key(graph, k, q, config, epoch))
+        if entry is None:
+            return None
+        pinned_graph, contexts = entry  # type: ignore[misc]
+        # The stored strong reference pins id(graph); this is a cheap
+        # belt-and-braces check against key collisions.
+        if pinned_graph is not graph:  # pragma: no cover - defensive
+            return None
+        return contexts
+
+    def put(
+        self,
+        graph: Graph,
+        k: int,
+        q: int,
+        config: EnumerationConfig,
+        contexts: List[SeedContext],
+        epoch: Optional[int] = None,
+    ) -> bool:
+        """Store the complete seed-context list of a finished sweep.
+
+        Pass the ``epoch`` observed when the sweep *started*: an
+        ``invalidate()`` racing with the run then strands the entry under
+        the old epoch instead of publishing stale subgraphs under the new
+        one.  ``None`` reads the graph's current epoch (single-threaded
+        callers).
+        """
+        nbytes = sum(estimate_seed_context_bytes(context) for context in contexts)
+        return self._lru.put(
+            self._key(graph, k, q, config, epoch), (graph, contexts), nbytes
+        )
+
+    def invalidate_graph(self, graph: Graph) -> int:
+        """Eagerly drop every entry built from ``graph`` (any epoch)."""
+        target = id(graph)
+        return self._lru.remove_where(
+            lambda key, value: key[0] == target and value[0] is graph
+        )
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._lru.clear()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    @property
+    def current_bytes(self) -> int:
+        """Estimated bytes currently held."""
+        return self._lru.current_bytes
+
+    def stats(self) -> Dict[str, object]:
+        """Hit/miss/eviction counters plus occupancy."""
+        return self._lru.stats()

@@ -1,0 +1,539 @@
+"""The concurrent enumeration service front-end.
+
+:class:`KPlexService` turns the library into the system the ROADMAP
+describes: a long-lived object answering heavy repeated k-plex traffic over
+a :class:`~repro.service.catalog.GraphCatalog` of named graphs, with
+
+* a bounded **worker pool** (threads — solvers release the GIL poorly, but
+  the pool gives concurrency across cache hits, I/O-bound callers and the
+  process-pool ``parallel`` solver, and bounds resource usage) plus
+  **admission control**: at most ``max_workers + max_queue_depth`` requests
+  are outstanding, everything beyond is rejected with
+  :class:`~repro.errors.ServiceOverloadError` instead of queueing unboundedly;
+* **cross-request caching**: a :class:`~repro.service.cache.ResultCache` of
+  completed responses and a :class:`~repro.service.cache.SeedContextCache`
+  of per-seed subgraphs, both byte-budgeted; identical concurrent misses
+  are coalesced so one search fills every waiter;
+* **ServiceMetrics**: hit rate, p50/p95 latency, evictions, in-flight and
+  admission counters, exported as one JSON-ready snapshot.
+
+The service never mutates responses: cache hits return the shared completed
+response object, so callers must treat responses as read-only (they already
+are everywhere else in the repository).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Union
+
+from ..api.engine import KPlexEngine
+from ..api.request import EnumerationRequest
+from ..api.response import (
+    TERMINATION_COMPLETED,
+    TERMINATION_RESULT_LIMIT,
+    TERMINATION_TIMEOUT,
+    EnumerationResponse,
+)
+from ..api.solvers import _ConfigurableSolver
+from ..api.registry import get_solver
+from ..errors import ParameterError, ServiceError, ServiceOverloadError
+from ..graph import Graph
+from .cache import ResultCache, SeedContextCache, result_cache_key
+from .catalog import GraphCatalog
+
+#: Outcome labels recorded per completed request.
+OUTCOME_HIT = "hit"
+OUTCOME_MISS = "miss"
+OUTCOME_COALESCED = "coalesced"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunable knobs of :class:`KPlexService`.
+
+    Attributes
+    ----------
+    max_workers:
+        Worker threads executing admitted requests.
+    max_queue_depth:
+        Admitted requests allowed to wait beyond the running ones; the
+        admission bound is ``max_workers + max_queue_depth`` outstanding.
+    default_timeout_seconds:
+        Applied to requests that carry no timeout of their own.
+    result_cache_entries / result_cache_bytes:
+        Memory budget of the completed-response cache (``None`` = unbounded
+        on that axis); set ``result_cache_entries=0`` to disable caching.
+    seed_cache_entries / seed_cache_bytes:
+        Memory budget of the seed-context tier; ``seed_cache_entries=0``
+        disables it.
+    prepared_core_budget:
+        Per-graph cap on retained ``core(level)`` subgraphs, applied through
+        the catalog on registration (the prepared-index memory budget).
+    latency_window:
+        Number of most recent request latencies kept for the p50/p95
+        estimates.
+    """
+
+    max_workers: int = 4
+    max_queue_depth: int = 32
+    default_timeout_seconds: Optional[float] = None
+    result_cache_entries: Optional[int] = 256
+    result_cache_bytes: Optional[int] = 64 * 1024 * 1024
+    seed_cache_entries: Optional[int] = 64
+    seed_cache_bytes: Optional[int] = 32 * 1024 * 1024
+    prepared_core_budget: Optional[int] = None
+    latency_window: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise ParameterError(f"max_workers must be >= 1, got {self.max_workers}")
+        if self.max_queue_depth < 0:
+            raise ParameterError(
+                f"max_queue_depth must be >= 0, got {self.max_queue_depth}"
+            )
+        if self.latency_window < 1:
+            raise ParameterError(
+                f"latency_window must be >= 1, got {self.latency_window}"
+            )
+        if self.default_timeout_seconds is not None and self.default_timeout_seconds < 0:
+            raise ParameterError(
+                "default_timeout_seconds must be non-negative, got "
+                f"{self.default_timeout_seconds}"
+            )
+
+
+def _percentile(sorted_samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already sorted, non-empty sequence."""
+    rank = max(0, min(len(sorted_samples) - 1, int(fraction * len(sorted_samples))))
+    return sorted_samples[rank]
+
+
+class ServiceMetrics:
+    """Thread-safe request counters and a bounded latency reservoir."""
+
+    def __init__(self, latency_window: int = 2048) -> None:
+        self._lock = threading.Lock()
+        self._latencies: "deque[float]" = deque(maxlen=latency_window)
+        self.admitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.errors = 0
+        self.in_flight = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.coalesced = 0
+        self.timeouts = 0
+
+    def record_admitted(self) -> None:
+        """One request passed admission control."""
+        with self._lock:
+            self.admitted += 1
+            self.in_flight += 1
+
+    def record_rejected(self) -> None:
+        """One request was turned away by admission control."""
+        with self._lock:
+            self.rejected += 1
+
+    def record_outcome(
+        self,
+        latency_seconds: float,
+        outcome: Optional[str],
+        termination: Optional[str] = None,
+        error: bool = False,
+    ) -> None:
+        """One admitted request finished (successfully or not)."""
+        with self._lock:
+            self.in_flight -= 1
+            self._latencies.append(latency_seconds)
+            if error:
+                self.errors += 1
+                return
+            self.completed += 1
+            if outcome == OUTCOME_HIT:
+                self.cache_hits += 1
+            elif outcome == OUTCOME_COALESCED:
+                self.coalesced += 1
+            elif outcome == OUTCOME_MISS:
+                self.cache_misses += 1
+            if termination == TERMINATION_TIMEOUT:
+                self.timeouts += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready counters plus latency percentiles over the window."""
+        with self._lock:
+            latencies = sorted(self._latencies)
+            served = self.cache_hits + self.cache_misses + self.coalesced
+            snapshot: Dict[str, object] = {
+                "requests_total": self.admitted + self.rejected,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "errors": self.errors,
+                "in_flight": self.in_flight,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "coalesced": self.coalesced,
+                "timeouts": self.timeouts,
+                "hit_rate": (
+                    (self.cache_hits + self.coalesced) / served if served else 0.0
+                ),
+                "latency_samples": len(latencies),
+            }
+            if latencies:
+                snapshot["latency_p50_seconds"] = _percentile(latencies, 0.50)
+                snapshot["latency_p95_seconds"] = _percentile(latencies, 0.95)
+                snapshot["latency_max_seconds"] = latencies[-1]
+            return snapshot
+
+
+class _Inflight:
+    """Rendezvous for concurrent identical misses (request coalescing)."""
+
+    __slots__ = ("event", "response", "exception")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.response: Optional[EnumerationResponse] = None
+        self.exception: Optional[BaseException] = None
+
+
+class KPlexService:
+    """Concurrent, cached enumeration service over a graph catalog.
+
+    >>> from repro.service import KPlexService
+    >>> service = KPlexService()
+    >>> service.catalog.register("toy", [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+    CatalogEntry(name='toy', ...)
+    >>> service.solve("toy", k=2, q=3).count       # miss: runs the search
+    1
+    >>> service.solve("toy", k=2, q=3).count       # hit: served from cache
+    1
+
+    (doctest shown for shape only — see ``examples/service_demo.py``.)
+    """
+
+    def __init__(
+        self,
+        catalog: Optional[GraphCatalog] = None,
+        config: Optional[ServiceConfig] = None,
+        engine: Optional[KPlexEngine] = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.catalog = catalog or GraphCatalog(
+            prepared_core_budget=self.config.prepared_core_budget
+        )
+        self._engine = engine or KPlexEngine()
+        self._result_cache: Optional[ResultCache] = (
+            None
+            if self.config.result_cache_entries == 0
+            else ResultCache(
+                max_entries=self.config.result_cache_entries,
+                max_bytes=self.config.result_cache_bytes,
+            )
+        )
+        self._seed_cache: Optional[SeedContextCache] = (
+            None
+            if self.config.seed_cache_entries == 0
+            else SeedContextCache(
+                max_entries=self.config.seed_cache_entries,
+                max_bytes=self.config.seed_cache_bytes,
+            )
+        )
+        self._metrics = ServiceMetrics(latency_window=self.config.latency_window)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._admission_lock = threading.Lock()
+        self._outstanding = 0
+        self._inflight: Dict[Hashable, _Inflight] = {}
+        self._inflight_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Request construction
+    # ------------------------------------------------------------------ #
+    def request(
+        self, graph: Union[str, Graph], k: int, q: int, **kwargs: object
+    ) -> EnumerationRequest:
+        """Build a validated request; ``graph`` may be a catalog name."""
+        return EnumerationRequest(
+            graph=self.catalog.resolve(graph), k=k, q=q, **kwargs  # type: ignore[arg-type]
+        )
+
+    def _coerce(
+        self,
+        request: Union[EnumerationRequest, str, Graph],
+        k: Optional[int],
+        q: Optional[int],
+        kwargs: Dict[str, object],
+    ) -> EnumerationRequest:
+        if isinstance(request, EnumerationRequest):
+            if k is not None or q is not None or kwargs:
+                raise ParameterError(
+                    "pass either a finished EnumerationRequest or "
+                    "(graph, k, q, ...) keywords, not both"
+                )
+            return request
+        if k is None or q is None:
+            raise ParameterError("k and q are required when passing a graph or name")
+        return self.request(request, k, q, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        request: Union[EnumerationRequest, str, Graph],
+        k: Optional[int] = None,
+        q: Optional[int] = None,
+        **kwargs: object,
+    ) -> "Future[EnumerationResponse]":
+        """Admit a request and return a future for its response.
+
+        Raises :class:`ServiceOverloadError` when ``max_workers +
+        max_queue_depth`` requests are already outstanding — graceful
+        rejection is the service's backpressure signal.
+        """
+        if self._closed:
+            raise ServiceError("the service has been closed")
+        request = self._coerce(request, k, q, kwargs)
+        capacity = self.config.max_workers + self.config.max_queue_depth
+        with self._admission_lock:
+            if self._outstanding >= capacity:
+                self._metrics.record_rejected()
+                raise ServiceOverloadError(
+                    f"service at capacity: {self._outstanding} requests outstanding "
+                    f"(max_workers={self.config.max_workers}, "
+                    f"max_queue_depth={self.config.max_queue_depth})"
+                )
+            self._outstanding += 1
+        self._metrics.record_admitted()
+        try:
+            future = self._ensure_pool().submit(self._execute, request)
+        except BaseException:
+            with self._admission_lock:
+                self._outstanding -= 1
+            self._metrics.record_outcome(0.0, None, error=True)
+            raise
+        future.add_done_callback(self._on_done)
+        return future
+
+    def solve(
+        self,
+        request: Union[EnumerationRequest, str, Graph],
+        k: Optional[int] = None,
+        q: Optional[int] = None,
+        **kwargs: object,
+    ) -> EnumerationResponse:
+        """Synchronous :meth:`submit` — blocks until the response is ready.
+
+        Accepts either a finished :class:`EnumerationRequest` or a catalog
+        name / graph plus ``k``, ``q`` and request keywords.  Do not call
+        from inside another request's solver (it would occupy two workers).
+        """
+        return self.submit(request, k, q, **kwargs).result()
+
+    def solve_many(
+        self,
+        requests: Iterable[Union[EnumerationRequest, str, Graph]],
+    ) -> List[EnumerationResponse]:
+        """Solve a batch, throttled to the service's admission capacity.
+
+        Responses align index-for-index with ``requests``.  Submission is
+        paced so the batch itself never trips admission control; rejections
+        can still happen when *other* clients keep the service saturated.
+        """
+        coerced = [self._coerce(request, None, None, {}) for request in requests]
+        results: List[Optional[EnumerationResponse]] = [None] * len(coerced)
+        capacity = max(1, self.config.max_workers + self.config.max_queue_depth - 1)
+        pending: Dict["Future[EnumerationResponse]", int] = {}
+        index = 0
+        while index < len(coerced) or pending:
+            while index < len(coerced) and len(pending) < capacity:
+                try:
+                    future = self.submit(coerced[index])
+                except ServiceOverloadError:
+                    if not pending:
+                        raise
+                    break
+                pending[future] = index
+                index += 1
+            if not pending:
+                continue
+            done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+            for future in done:
+                results[pending.pop(future)] = future.result()
+        return results  # type: ignore[return-value]
+
+    def invalidate(self, name: str) -> int:
+        """Retire every cached artefact of a catalog graph; return its epoch.
+
+        Bumps the graph's epoch (so stale keys can never match again) and
+        eagerly drops its result/seed-context cache entries to free their
+        budget immediately.
+        """
+        entry = self.catalog.entry(name)
+        epoch = self.catalog.invalidate(name)
+        if self._result_cache is not None:
+            self._result_cache.invalidate_graph(entry.graph)
+        if self._seed_cache is not None:
+            self._seed_cache.invalidate_graph(entry.graph)
+        return epoch
+
+    def metrics(self) -> Dict[str, object]:
+        """One JSON-ready snapshot of service, cache and catalog state."""
+        snapshot = self._metrics.snapshot()
+        snapshot["result_cache"] = (
+            self._result_cache.stats() if self._result_cache is not None else None
+        )
+        snapshot["seed_context_cache"] = (
+            self._seed_cache.stats() if self._seed_cache is not None else None
+        )
+        snapshot["catalog"] = {
+            "graphs": len(self.catalog),
+            "memory_bytes": self.catalog.total_memory_bytes(),
+        }
+        return snapshot
+
+    @property
+    def result_cache(self) -> Optional[ResultCache]:
+        """The response cache (``None`` when disabled)."""
+        return self._result_cache
+
+    @property
+    def seed_context_cache(self) -> Optional[SeedContextCache]:
+        """The seed-context tier (``None`` when disabled)."""
+        return self._seed_cache
+
+    def close(self) -> None:
+        """Stop accepting requests and wait for in-flight work to finish."""
+        self._closed = True
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "KPlexService":
+        return self
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Execution path
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                if self._closed:
+                    raise ServiceError("the service has been closed")
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.config.max_workers,
+                    thread_name_prefix="kplex-service",
+                )
+            return self._pool
+
+    def _on_done(self, _future: "Future[EnumerationResponse]") -> None:
+        with self._admission_lock:
+            self._outstanding -= 1
+
+    def _apply_defaults(self, request: EnumerationRequest) -> EnumerationRequest:
+        if (
+            self.config.default_timeout_seconds is not None
+            and request.timeout_seconds is None
+        ):
+            request = request.with_changes(
+                timeout_seconds=self.config.default_timeout_seconds
+            )
+        return request
+
+    def _inject_seed_cache(self, request: EnumerationRequest) -> EnumerationRequest:
+        if (
+            self._seed_cache is None
+            or request.query_vertices is not None
+            or "seed_context_cache" in request.options
+        ):
+            return request
+        # Only the configurable branch-and-bound adapters know how to replay
+        # seed contexts; other solvers would reject (or ignore) the option.
+        if not issubclass(get_solver(request.solver), _ConfigurableSolver):
+            return request
+        options = dict(request.options)
+        options["seed_context_cache"] = self._seed_cache
+        return request.with_changes(options=options)
+
+    def _run(self, request: EnumerationRequest) -> EnumerationResponse:
+        return self._engine.solve(self._inject_seed_cache(request))
+
+    def _execute(self, request: EnumerationRequest) -> EnumerationResponse:
+        started = time.perf_counter()
+        outcome: Optional[str] = None
+        termination: Optional[str] = None
+        try:
+            request = self._apply_defaults(request)
+            response, outcome = self._solve_with_cache(request)
+            termination = response.termination
+            return response
+        except BaseException:
+            self._metrics.record_outcome(
+                time.perf_counter() - started, outcome, error=True
+            )
+            raise
+        finally:
+            # Success path only: the error path already recorded itself (and
+            # left termination unset).
+            if termination is not None:
+                self._metrics.record_outcome(
+                    time.perf_counter() - started, outcome, termination
+                )
+
+    def _solve_with_cache(
+        self, request: EnumerationRequest
+    ) -> "tuple[EnumerationResponse, str]":
+        cache = self._result_cache
+        if cache is None:
+            return self._run(request), OUTCOME_MISS
+        # Derive the key once, before the run: it snapshots the graph epoch
+        # at admission time, so an invalidate() racing with the search makes
+        # the eventual store() land under the old (unmatchable) epoch.
+        key = result_cache_key(request)
+        cached = cache.lookup(request, key=key)
+        if cached is not None:
+            return cached, OUTCOME_HIT
+        with self._inflight_lock:
+            entry = self._inflight.get(key)
+            leader = entry is None
+            if leader:
+                entry = _Inflight()
+                self._inflight[key] = entry
+        if leader:
+            try:
+                response = self._run(request)
+                cache.store(request, response, key=key)
+                entry.response = response
+                return response, OUTCOME_MISS
+            except BaseException as exc:
+                entry.exception = exc
+                raise
+            finally:
+                with self._inflight_lock:
+                    self._inflight.pop(key, None)
+                entry.event.set()
+        # Follower: wait for the leader's answer instead of duplicating the
+        # search (thundering-herd protection).
+        entry.event.wait()
+        if entry.exception is not None:
+            raise entry.exception
+        response = entry.response
+        assert response is not None
+        if response.termination in (TERMINATION_COMPLETED, TERMINATION_RESULT_LIMIT):
+            return response, OUTCOME_COALESCED
+        # The leader's run was cut short (timeout/cancel) — its partial
+        # answer must not be recycled for a request that may have a larger
+        # budget; run independently.
+        return self._run(request), OUTCOME_MISS

@@ -147,3 +147,112 @@ def test_parameter_errors_are_reported_not_raised(graph_file, capsys):
     captured = capsys.readouterr()
     assert exit_code == 1
     assert "error:" in captured.err
+
+
+@pytest.fixture
+def workload_file(tmp_path):
+    path = tmp_path / "workload.jsonl"
+    lines = [
+        {"graph": "ring", "k": 2, "q": 5},
+        {"graph": "ring", "k": 2, "q": 5},
+        {"graph": "ring", "k": 2, "q": 5, "max_results": 1},
+        {"graph": "dataset:jazz", "k": 2, "q": 9},
+    ]
+    path.write_text(
+        "# comment lines and blanks are skipped\n\n"
+        + "".join(json.dumps(line) + "\n" for line in lines)
+    )
+    return path
+
+
+def test_serve_replays_workload(graph_file, workload_file, tmp_path, capsys):
+    metrics_file = tmp_path / "metrics.json"
+    exit_code = main(
+        [
+            "serve",
+            str(workload_file),
+            "--register",
+            f"ring={graph_file}",
+            "--no-results",
+            "--metrics",
+            str(metrics_file),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    payloads = [json.loads(line) for line in captured.out.splitlines()]
+    assert [p["id"] for p in payloads] == [3, 4, 5, 6]  # workload line numbers
+    assert payloads[0]["count"] == payloads[1]["count"]
+    assert payloads[0]["graph"] == "ring"
+    assert payloads[2]["termination"] == "result-limit"
+    assert payloads[2]["count"] == 1
+    assert payloads[3]["graph"] == "dataset:jazz"  # auto-registered
+    assert "kplexes" not in payloads[0]
+    assert "served 4 requests" in captured.err
+    metrics = json.loads(metrics_file.read_text())
+    assert metrics["completed"] == 4
+    # The identical requests 1 and 2 were served once: hit or coalesced.
+    assert metrics["cache_hits"] + metrics["coalesced"] >= 1
+
+
+def test_serve_results_included_by_default(graph_file, workload_file, capsys):
+    exit_code = main(["serve", str(workload_file), "--register", f"ring={graph_file}"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    first = json.loads(captured.out.splitlines()[0])
+    assert first["kplexes"] and all(len(p) >= 5 for p in first["kplexes"])
+
+
+def test_serve_writes_output_file(graph_file, workload_file, tmp_path, capsys):
+    out = tmp_path / "responses.jsonl"
+    exit_code = main(
+        [
+            "serve",
+            str(workload_file),
+            "--register",
+            f"ring={graph_file}",
+            "--output",
+            str(out),
+            "--no-results",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert captured.out == ""
+    assert len(out.read_text().splitlines()) == 4
+
+
+def test_serve_reports_unknown_graph(workload_file, capsys):
+    exit_code = main(["serve", str(workload_file)])
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    assert "error:" in captured.err
+    assert "ring" in captured.err
+
+
+def test_serve_rejects_malformed_lines(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"graph": "dataset:jazz", "k": 2}\n')
+    exit_code = main(["serve", str(bad)])
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    assert "missing the 'q' key" in captured.err
+
+    bad.write_text("not-json\n")
+    exit_code = main(["serve", str(bad)])
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    assert "invalid JSON" in captured.err
+
+    bad.write_text('{"graph": "dataset:jazz", "k": 2, "q": 6, "bogus": 1}\n')
+    exit_code = main(["serve", str(bad)])
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    assert "unknown workload keys" in captured.err
+
+
+def test_serve_rejects_bad_register_spec(workload_file, capsys):
+    exit_code = main(["serve", str(workload_file), "--register", "just-a-name"])
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    assert "NAME=SPEC" in captured.err

@@ -27,7 +27,7 @@ bench-json:
 # image) and smoke-import the public API surface.
 lint:
 	$(PYTHON) -m compileall -q src tests examples benchmarks
-	$(PYTHON) -c "import repro, repro.api, repro.cli, repro.experiments, repro.analysis"
+	$(PYTHON) -c "import repro, repro.api, repro.cli, repro.experiments, repro.analysis, repro.service, repro.server"
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f >/dev/null || exit 1; done; echo "all examples OK"

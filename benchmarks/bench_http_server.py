@@ -1,0 +1,128 @@
+"""HTTP front-end — warm-start restart vs cold restart, over the wire.
+
+The deployment story of the server subsystem is that a restart is not a
+cold start: the warm-state snapshot (:mod:`repro.server.persistence`)
+replays the hottest request specs through the normal service path on boot,
+so the recurring workload is answered from a warm cache at HTTP-overhead
+latency instead of search latency.
+
+This bench boots a real :class:`KPlexHTTPServer` three times over the
+repeated-query workload of the serving benches and gates two claims:
+
+* **>= 3x**: the median per-request HTTP latency of a warm-started restart
+  is at least 3x lower than a cold restart's on the same workload;
+* **epoch safety**: a snapshot taken *before* ``bump_epoch()`` warms
+  nothing after the mutation — the restarted-and-mutated server serves the
+  first round entirely from recomputation (zero cache hits).
+"""
+
+import statistics
+import time
+
+from repro.analysis.reporting import render_table
+from repro.experiments.workloads import service_replay_workloads
+from repro.server import ServiceClient, save_snapshot, start_server, warm_start
+from repro.service import KPlexService, ServiceConfig
+
+from _bench_utils import run_once
+
+GATE_SPEEDUP = 3.0
+
+
+def _boot(snapshot_path=None):
+    service = KPlexService(config=ServiceConfig(max_workers=2))
+    server = start_server(service, port=0, snapshot_path=snapshot_path)
+    client = ServiceClient(server.url)
+    client.wait_ready()
+    return service, server, client
+
+
+def _register_all(client, workloads):
+    for dataset in {workload.dataset for workload in workloads}:
+        client.register(dataset, dataset=dataset)
+
+
+def _replay_latencies(client, workloads):
+    latencies = []
+    for workload in workloads:
+        started = time.perf_counter()
+        client.solve(
+            workload.dataset, k=workload.k, q=workload.q, include_results=False
+        )
+        latencies.append(time.perf_counter() - started)
+    return latencies
+
+
+def test_bench_http_warm_start_restart(benchmark, scale):
+    workloads = service_replay_workloads(scale, repeats=1)
+
+    def run(tmp_path_factory=None):
+        import tempfile, os
+
+        snapshot_path = os.path.join(tempfile.mkdtemp(), "warm.json")
+
+        # Generation 1: take live traffic, persist the hot set, drain.
+        service, server, client = _boot(snapshot_path)
+        _register_all(client, workloads)
+        _replay_latencies(client, workloads)
+        server.drain()  # final snapshot written here
+
+        # Generation 2a: cold restart — no warm start, every request searches.
+        service, server, client = _boot()
+        _register_all(client, workloads)
+        cold = _replay_latencies(client, workloads)
+        server.drain()
+
+        # Generation 2b: warm restart — replay the snapshot, then the same
+        # workload is served from the rebuilt cache at wire latency.
+        service, server, client = _boot()
+        report = warm_start(service, snapshot_path)
+        assert report.replayed >= len({(w.dataset, w.k, w.q) for w in workloads})
+        assert report.failed == 0
+        warm = _replay_latencies(client, workloads)
+        warm_hits = client.metrics()["cache_hits"]
+        server.drain()
+
+        # Epoch safety: snapshot, mutate, warm-start — nothing may hit.
+        service, server, client = _boot(snapshot_path)
+        _register_all(client, workloads)
+        _replay_latencies(client, workloads)
+        save_snapshot(service, snapshot_path)
+        for dataset in {w.dataset for w in workloads}:
+            service.catalog.get(dataset).bump_epoch()
+        if service.result_cache is not None:
+            service.result_cache.clear()
+        stale_report = warm_start(service, snapshot_path)
+        stale_hits_before = client.metrics()["cache_hits"]
+        client.solve(
+            workloads[0].dataset,
+            k=workloads[0].k,
+            q=workloads[0].q,
+            include_results=False,
+        )
+        stale_hits_after = client.metrics()["cache_hits"]
+        server.drain()
+
+        return {
+            "requests": len(workloads),
+            "cold_median_ms": round(statistics.median(cold) * 1e3, 3),
+            "warm_median_ms": round(statistics.median(warm) * 1e3, 3),
+            "speedup": round(statistics.median(cold) / statistics.median(warm), 2),
+            "warm_hits": warm_hits,
+            "stale_replayed": stale_report.replayed,
+            "stale_hits_gained": stale_hits_after - stale_hits_before,
+        }
+
+    row = run_once(benchmark, run)
+    print()
+    print(render_table([row], title="HTTP warm-start restart (median per-request latency)"))
+
+    assert row["warm_hits"] >= len(workloads), "warm replay did not serve the workload"
+    assert row["speedup"] >= GATE_SPEEDUP, (
+        f"warm restart only {row['speedup']}x faster than cold "
+        f"(gate {GATE_SPEEDUP}x)"
+    )
+    assert row["stale_replayed"] == 0, "stale snapshot must not replay anything"
+    assert row["stale_hits_gained"] == 0, (
+        "a snapshot taken before bump_epoch() produced a cache hit after the mutation"
+    )

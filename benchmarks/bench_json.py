@@ -138,10 +138,69 @@ def run_benches(repeats: int) -> Dict[str, object]:
     benches["service_replay_bare_engine"] = _timed(replay_bare_engine, repeats)
     benches["service_replay_cached"] = _timed(replay_service, repeats)
 
+    # ---- HTTP front-end: cold vs warm-started restart, over the wire ---- #
+    import os
+    import tempfile
+
+    from repro.server import ServiceClient, start_server, warm_start
+
+    http_workloads = service_replay_workloads("quick", repeats=1)
+    snapshot_path = os.path.join(tempfile.mkdtemp(), "bench-warm.json")
+
+    def http_boot(path=None):
+        service = KPlexService(config=ServiceConfig(max_workers=2))
+        server = start_server(service, port=0, snapshot_path=path)
+        client = ServiceClient(server.url)
+        client.wait_ready()
+        for name in {workload.dataset for workload in http_workloads}:
+            client.register(name, dataset=name)
+        return service, server, client
+
+    def http_replay(client) -> None:
+        for workload in http_workloads:
+            client.solve(
+                workload.dataset, k=workload.k, q=workload.q, include_results=False
+            )
+
+    service, server, client = http_boot(snapshot_path)
+    http_replay(client)
+    server.drain()  # writes the snapshot
+
+    # Per repeat: one fresh cold server and one fresh warm-started server,
+    # timing only the serving phase — the question is what the recurring
+    # workload costs after each kind of restart, not what boot costs.
+    cold_samples: List[float] = []
+    warm_samples: List[float] = []
+    for _ in range(repeats):
+        _cold_service, cold_server, cold_client = http_boot()
+        started = time.perf_counter()
+        http_replay(cold_client)
+        cold_samples.append(time.perf_counter() - started)
+        cold_server.drain()
+
+        warm_service, warm_server, warm_client = http_boot()
+        warm_start(warm_service, snapshot_path)
+        started = time.perf_counter()
+        http_replay(warm_client)
+        warm_samples.append(time.perf_counter() - started)
+        warm_server.drain()
+
+    def _sampled(samples: List[float]) -> Dict[str, object]:
+        return {
+            "median_seconds": round(statistics.median(samples), 6),
+            "min_seconds": round(min(samples), 6),
+            "runs": len(samples),
+        }
+
+    benches["http_restart_cold_serve"] = _sampled(cold_samples)
+    benches["http_restart_warm_started_serve"] = _sampled(warm_samples)
+
     uncached = benches["repeated_queries_uncached"]["median_seconds"]
     cached = benches["repeated_queries_cached"]["median_seconds"]
     service_bare = benches["service_replay_bare_engine"]["median_seconds"]
     service_cached = benches["service_replay_cached"]["median_seconds"]
+    http_cold = benches["http_restart_cold_serve"]["median_seconds"]
+    http_warm = benches["http_restart_warm_started_serve"]["median_seconds"]
     derived = {
         "repeated_query_speedup": round(uncached / cached, 2) if cached else None,
         "requests_per_replay": REPEATED_QUERIES,
@@ -149,6 +208,10 @@ def run_benches(repeats: int) -> Dict[str, object]:
             round(service_bare / service_cached, 2) if service_cached else None
         ),
         "service_requests_per_replay": len(service_workloads),
+        "http_warm_restart_speedup": (
+            round(http_cold / http_warm, 2) if http_warm else None
+        ),
+        "http_requests_per_replay": len(http_workloads),
     }
     return {
         "schema": 1,
@@ -169,9 +232,11 @@ def main() -> int:
         handle.write("\n")
     speedup = payload["derived"]["repeated_query_speedup"]
     service_speedup = payload["derived"]["service_replay_speedup"]
+    http_speedup = payload["derived"]["http_warm_restart_speedup"]
     print(
         f"wrote {args.output} (repeated-query speedup: {speedup}x, "
-        f"service-replay speedup: {service_speedup}x)"
+        f"service-replay speedup: {service_speedup}x, "
+        f"http warm-restart speedup: {http_speedup}x)"
     )
     return 0
 

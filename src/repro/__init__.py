@@ -59,9 +59,12 @@ from .errors import (
     FormatError,
     GraphError,
     ParameterError,
+    RemoteServiceError,
     ReproError,
+    ServiceClosedError,
     ServiceError,
     ServiceOverloadError,
+    SnapshotError,
 )
 from .graph import CSRGraph, Graph, PreparedGraph
 from .parallel import ParallelConfig, parallel_enumerate_maximal_kplexes
@@ -127,5 +130,8 @@ __all__ = [
     "ServiceError",
     "CatalogError",
     "ServiceOverloadError",
+    "ServiceClosedError",
+    "SnapshotError",
+    "RemoteServiceError",
     "__version__",
 ]

@@ -15,7 +15,14 @@ any Python; every mining command is routed through the
 * ``kplex-enum serve WORKLOAD.jsonl`` — replay a JSONL request workload
   through the caching :class:`repro.service.KPlexService` (graph catalog,
   worker pool, cross-request result cache) and emit JSONL responses plus a
-  metrics snapshot.
+  metrics snapshot;
+* ``kplex-enum serve-http`` — run the HTTP/JSON front-end
+  (:mod:`repro.server`): ``POST /v1/solve``, graph registration, metrics
+  (JSON or Prometheus), warm-state snapshots and graceful SIGTERM drain.
+
+Batch and HTTP modes share one warm-state snapshot format
+(:mod:`repro.server.persistence`): a snapshot written by either can warm
+the other via ``--snapshot`` / ``--warm-start``.
 """
 
 from __future__ import annotations
@@ -200,6 +207,89 @@ def _build_parser() -> argparse.ArgumentParser:
         "--metrics", default=None, metavar="FILE",
         help="also write the final metrics snapshot to FILE as JSON",
     )
+    serve_parser.add_argument(
+        "--snapshot", default=None, metavar="FILE",
+        help="write a warm-state snapshot to FILE after the workload",
+    )
+    serve_parser.add_argument(
+        "--warm-start", action="store_true",
+        help="replay the --snapshot file (if present) before the workload",
+    )
+
+    http_parser = subparsers.add_parser(
+        "serve-http",
+        help="run the HTTP/JSON enumeration server",
+        description=(
+            "Serve POST /v1/solve, POST/GET /v1/graphs, GET /v1/metrics "
+            "(add ?format=prometheus) and GET /healthz over a caching "
+            "KPlexService until SIGTERM/SIGINT, then drain gracefully. "
+            "--snapshot enables warm-state persistence (periodic with "
+            "--snapshot-interval, always at drain and via POST /v1/snapshot); "
+            "--warm-start replays the snapshot on boot so the restarted "
+            "server does not begin cold."
+        ),
+    )
+    http_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    http_parser.add_argument(
+        "--port", type=int, default=8080,
+        help="TCP port; 0 picks an ephemeral port (default: 8080)",
+    )
+    http_parser.add_argument(
+        "--register",
+        action="append",
+        default=[],
+        metavar="NAME=SPEC",
+        help="register a catalog graph at boot (SPEC: file path or dataset:<name>)",
+    )
+    http_parser.add_argument(
+        "--format", default="auto", choices=["auto", "edgelist", "dimacs", "metis"],
+        help="file format for --register file specs",
+    )
+    http_parser.add_argument(
+        "--workers", type=int, default=4, help="service worker threads (default: 4)"
+    )
+    http_parser.add_argument(
+        "--queue-depth", type=int, default=32,
+        help="admitted requests allowed to wait beyond the workers (default: 32)",
+    )
+    http_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="default per-request wall-clock budget",
+    )
+    http_parser.add_argument(
+        "--request-deadline", type=float, default=None, metavar="SECONDS",
+        help="server-side hard deadline per request (answers 504 beyond it)",
+    )
+    http_parser.add_argument(
+        "--cache-entries", type=int, default=256,
+        help="result-cache entry budget (0 disables the cache)",
+    )
+    http_parser.add_argument(
+        "--cache-bytes", type=int, default=64 * 1024 * 1024,
+        help="result-cache byte budget (default: 64 MiB)",
+    )
+    http_parser.add_argument(
+        "--core-budget", type=int, default=None, metavar="LEVELS",
+        help="per-graph cap on retained prepared core(level) subgraphs",
+    )
+    http_parser.add_argument(
+        "--snapshot", default=None, metavar="FILE",
+        help="warm-state snapshot file (written at drain and on POST /v1/snapshot)",
+    )
+    http_parser.add_argument(
+        "--snapshot-interval", type=float, default=None, metavar="SECONDS",
+        help="also write the snapshot periodically every SECONDS",
+    )
+    http_parser.add_argument(
+        "--warm-start", action="store_true",
+        help="replay the --snapshot file (if present) before accepting requests",
+    )
+    http_parser.add_argument(
+        "--access-log", action="store_true",
+        help="print one access-log line per request to stderr",
+    )
     return parser
 
 
@@ -351,7 +441,8 @@ def _serve_request(service, spec: dict, fmt: str):
     return EnumerationRequest(graph=graph, k=spec["k"], q=spec["q"], **kwargs)
 
 
-def _command_serve(args: argparse.Namespace) -> int:
+def _service_from_args(args: argparse.Namespace):
+    """Build the KPlexService shared by the serve and serve-http commands."""
     from .service import KPlexService, ServiceConfig
 
     config = ServiceConfig(
@@ -362,14 +453,41 @@ def _command_serve(args: argparse.Namespace) -> int:
         result_cache_bytes=args.cache_bytes,
         prepared_core_budget=args.core_budget,
     )
-    with KPlexService(config=config) as service:
-        for registration in args.register:
-            name, separator, spec = registration.partition("=")
-            if not separator or not name or not spec:
-                raise ReproError(
-                    f"--register expects NAME=SPEC, got {registration!r}"
-                )
-            service.catalog.register(name, spec, fmt=args.format)
+    service = KPlexService(config=config)
+    for registration in args.register:
+        name, separator, spec = registration.partition("=")
+        if not separator or not name or not spec:
+            service.close()
+            raise ReproError(f"--register expects NAME=SPEC, got {registration!r}")
+        service.catalog.register(name, spec, fmt=args.format)
+    return service
+
+
+def _maybe_warm_start(service, args: argparse.Namespace) -> None:
+    """Replay the snapshot file when --warm-start asked for it and it exists."""
+    import os
+
+    if not getattr(args, "warm_start", False):
+        return
+    if not args.snapshot:
+        raise ReproError("--warm-start requires --snapshot FILE")
+    if not os.path.exists(args.snapshot):
+        print(
+            f"warm start: no snapshot at {args.snapshot} yet, starting cold",
+            file=sys.stderr,
+        )
+        return
+    from .server import warm_start
+
+    report = warm_start(service, args.snapshot)
+    print(report.summary(), file=sys.stderr)
+    for error in report.errors:
+        print(f"warm start: {error}", file=sys.stderr)
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    with _service_from_args(args) as service:
+        _maybe_warm_start(service, args)
 
         requests = []
         for line_number, raw in _iter_workload_lines(args.workload):
@@ -395,6 +513,15 @@ def _command_serve(args: argparse.Namespace) -> int:
             if out is not sys.stdout:
                 out.close()
 
+        if args.snapshot:
+            from .server import save_snapshot
+
+            snapshot = save_snapshot(service, args.snapshot)
+            print(
+                f"snapshot: {len(snapshot['hot_requests'])} hot requests over "
+                f"{len(snapshot['graphs'])} graphs -> {args.snapshot}",
+                file=sys.stderr,
+            )
         metrics = service.metrics()
     summary = (
         f"served {len(requests)} requests: "
@@ -409,6 +536,46 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve_http(args: argparse.Namespace) -> int:
+    from .server import serve_http
+
+    service = _service_from_args(args)
+    try:
+        _maybe_warm_start(service, args)
+    except ReproError:
+        service.close()
+        raise
+
+    def ready(server) -> None:
+        # The URL line is the machine-readable boot signal (supervisors and
+        # the CI smoke test parse it to learn the ephemeral port).
+        print(f"serving on {server.url}", flush=True)
+        print(
+            f"graphs={len(service.catalog)} workers={args.workers} "
+            f"snapshot={args.snapshot or '-'}",
+            file=sys.stderr,
+        )
+
+    logger = (lambda line: print(line, file=sys.stderr)) if args.access_log else None
+    serve_http(
+        service,
+        host=args.host,
+        port=args.port,
+        snapshot_path=args.snapshot,
+        snapshot_interval=args.snapshot_interval,
+        request_deadline=args.request_deadline,
+        logger=logger,
+        ready=ready,
+    )
+    metrics = service.metrics()
+    print(
+        f"drained cleanly: {metrics['completed']} requests completed, "
+        f"hit rate {metrics['hit_rate']:.2f}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 _COMMANDS = {
     "enumerate": _command_enumerate,
     "query": _command_query,
@@ -416,6 +583,7 @@ _COMMANDS = {
     "datasets": _command_datasets,
     "experiment": _command_experiment,
     "serve": _command_serve,
+    "serve-http": _command_serve_http,
 }
 
 

@@ -31,3 +31,29 @@ class CatalogError(ServiceError):
 
 class ServiceOverloadError(ServiceError):
     """Raised when admission control rejects a request (worker pool and queue full)."""
+
+
+class ServiceClosedError(ServiceError):
+    """Raised when a request reaches a service that is draining or closed."""
+
+
+class SnapshotError(ServiceError):
+    """Raised when a service snapshot cannot be written, read or validated."""
+
+
+class RemoteServiceError(ServiceError):
+    """An HTTP server answered with an error the client cannot map locally.
+
+    Attributes
+    ----------
+    status:
+        The HTTP status code of the response.
+    kind:
+        The ``error.type`` label from the structured error body (or the
+        raw reason phrase when the body was not structured).
+    """
+
+    def __init__(self, message: str, status: int = 0, kind: str = "") -> None:
+        super().__init__(message)
+        self.status = status
+        self.kind = kind

@@ -1,0 +1,211 @@
+"""Stdlib HTTP client for the k-plex serving front-end.
+
+:class:`ServiceClient` speaks the JSON wire contract of
+:mod:`repro.server.handlers` over :mod:`urllib` — no dependencies, so any
+Python process (or a curl one-liner, see the README's Deployment section)
+can drive a remote server.  Structured error bodies are mapped back onto
+the library's exception types: a ``429`` raises
+:class:`~repro.errors.ServiceOverloadError` exactly as a local
+:class:`~repro.service.KPlexService` would, unknown graphs raise
+:class:`~repro.errors.CatalogError`, validation problems raise
+:class:`~repro.errors.ParameterError`, and anything unmapped raises
+:class:`~repro.errors.RemoteServiceError` carrying the HTTP status.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import (
+    CatalogError,
+    GraphError,
+    ParameterError,
+    RemoteServiceError,
+    ServiceClosedError,
+    ServiceOverloadError,
+    SnapshotError,
+)
+
+#: ``error.type`` labels mapped back onto local exception types.
+_ERROR_TYPES = {
+    "ServiceOverloadError": ServiceOverloadError,
+    "ServiceClosedError": ServiceClosedError,
+    "CatalogError": CatalogError,
+    "ParameterError": ParameterError,
+    "GraphError": GraphError,
+    "SnapshotError": SnapshotError,
+}
+
+
+class ServiceClient:
+    """Minimal blocking client for one server base URL.
+
+    >>> client = ServiceClient("http://127.0.0.1:8080")   # doctest: +SKIP
+    >>> client.register("toy", edges=[(0, 1), (1, 2), (0, 2)])  # doctest: +SKIP
+    >>> client.solve("toy", k=2, q=3)["count"]            # doctest: +SKIP
+    1
+    """
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+    def health(self) -> Dict[str, object]:
+        """``GET /healthz`` — returns the body even while draining (503)."""
+        try:
+            return self._call("GET", "/healthz")  # type: ignore[return-value]
+        except RemoteServiceError as exc:
+            if exc.status == 503:
+                return {"status": "draining"}
+            raise
+
+    def wait_ready(self, timeout: float = 10.0, interval: float = 0.05) -> None:
+        """Poll :meth:`health` until the server answers ``ok``."""
+        deadline = time.monotonic() + timeout
+        last_error: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            try:
+                if self.health().get("status") == "ok":
+                    return
+            except (OSError, RemoteServiceError) as exc:
+                last_error = exc
+            time.sleep(interval)
+        raise RemoteServiceError(
+            f"server at {self.base_url} not ready after {timeout}s "
+            f"(last error: {last_error})"
+        )
+
+    def graphs(self) -> List[Dict[str, object]]:
+        """``GET /v1/graphs`` — the catalog listing."""
+        return self._call("GET", "/v1/graphs")["graphs"]  # type: ignore[index]
+
+    def register(
+        self,
+        name: str,
+        edges: Optional[Sequence[Tuple[object, object]]] = None,
+        vertices: Optional[Sequence[object]] = None,
+        path: Optional[str] = None,
+        dataset: Optional[str] = None,
+        prewarm: Optional[Sequence[Tuple[int, int]]] = None,
+        replace: bool = False,
+        fmt: str = "auto",
+    ) -> Dict[str, object]:
+        """``POST /v1/graphs`` — register by edges, file path or dataset name."""
+        body: Dict[str, object] = {"name": name, "replace": replace, "fmt": fmt}
+        if edges is not None:
+            body["edges"] = [list(edge) for edge in edges]
+            if vertices is not None:
+                body["vertices"] = list(vertices)
+        if path is not None:
+            body["path"] = path
+        if dataset is not None:
+            body["dataset"] = dataset
+        if prewarm is not None:
+            body["prewarm"] = [list(pair) for pair in prewarm]
+        return self._call("POST", "/v1/graphs", body)  # type: ignore[return-value]
+
+    def solve(
+        self,
+        graph: str,
+        k: int,
+        q: int,
+        solver: Optional[str] = None,
+        variant: Optional[str] = None,
+        config: Optional[Dict[str, object]] = None,
+        timeout: Optional[float] = None,
+        max_results: Optional[int] = None,
+        query: Optional[Sequence[object]] = None,
+        options: Optional[Dict[str, object]] = None,
+        include_results: bool = True,
+    ) -> Dict[str, object]:
+        """``POST /v1/solve`` — one enumeration over a registered graph."""
+        body: Dict[str, object] = {
+            "graph": graph,
+            "k": k,
+            "q": q,
+            "include_results": include_results,
+        }
+        for key, value in (
+            ("solver", solver),
+            ("variant", variant),
+            ("config", config),
+            ("timeout", timeout),
+            ("max_results", max_results),
+            ("options", options),
+        ):
+            if value is not None:
+                body[key] = value
+        if query is not None:
+            body["query"] = list(query)
+        return self._call("POST", "/v1/solve", body)  # type: ignore[return-value]
+
+    def metrics(self, fmt: Optional[str] = None) -> Union[Dict[str, object], str]:
+        """``GET /v1/metrics`` — JSON dict, or text with ``fmt="prometheus"``."""
+        suffix = f"?format={fmt}" if fmt else ""
+        return self._call("GET", f"/v1/metrics{suffix}")
+
+    def snapshot(self, path: Optional[str] = None) -> Dict[str, object]:
+        """``POST /v1/snapshot`` — force a warm-state snapshot now."""
+        body = {"path": path} if path else None
+        return self._call("POST", "/v1/snapshot", body)  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def _call(
+        self,
+        method: str,
+        route: str,
+        body: Optional[Dict[str, object]] = None,
+    ) -> Union[Dict[str, object], List[object], str]:
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(
+            f"{self.base_url}{route}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return self._decode(response.read(), response.headers.get_content_type())
+        except urllib.error.HTTPError as exc:
+            raise self._to_exception(exc) from None
+        except urllib.error.URLError as exc:
+            raise RemoteServiceError(
+                f"cannot reach {self.base_url}: {exc.reason}"
+            ) from exc
+
+    @staticmethod
+    def _decode(raw: bytes, content_type: str) -> Union[Dict[str, object], List[object], str]:
+        text = raw.decode("utf-8")
+        if content_type == "application/json":
+            return json.loads(text)
+        return text
+
+    @staticmethod
+    def _to_exception(exc: urllib.error.HTTPError) -> Exception:
+        status = exc.code
+        kind, message = "", f"HTTP {status}: {exc.reason}"
+        try:
+            error = json.loads(exc.read().decode("utf-8")).get("error", {})
+            kind = error.get("type", "")
+            message = error.get("message", message)
+        except (ValueError, OSError):
+            pass
+        mapped = _ERROR_TYPES.get(kind)
+        if mapped is not None:
+            return mapped(message)
+        return RemoteServiceError(message, status=status, kind=kind)
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc_info: object) -> None:
+        return None

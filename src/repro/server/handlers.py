@@ -1,0 +1,352 @@
+"""HTTP request handling for the k-plex serving front-end.
+
+One :class:`KPlexRequestHandler` instance handles one connection of the
+:class:`~repro.server.app.KPlexHTTPServer`.  The wire contract is plain
+JSON over HTTP/1.1 (stdlib only, no framework):
+
+=========  ==========================  ==========================================
+Method     Path                        Meaning
+=========  ==========================  ==========================================
+``GET``    ``/healthz``                liveness (``503`` while draining)
+``GET``    ``/v1/graphs``              catalog listing
+``POST``   ``/v1/graphs``              register a graph (edges / path / dataset)
+``POST``   ``/v1/solve``               run one enumeration request
+``GET``    ``/v1/metrics``             service metrics (``?format=prometheus``)
+``POST``   ``/v1/snapshot``            write a warm-state snapshot now
+=========  ==========================  ==========================================
+
+Every error is a structured body ``{"error": {"type", "message", "status"}}``
+so clients can map failures back to the library's exception types:
+overload maps to ``429`` (with a ``Retry-After`` hint), a draining or
+closed service to ``503``, an exceeded server-side hard deadline to
+``504``, unknown catalog names to ``404``, duplicate registrations to
+``409`` and every validation problem to ``400``.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from http.server import BaseHTTPRequestHandler
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from .. import __version__
+from ..core.config import EnumerationConfig
+from ..errors import (
+    CatalogError,
+    ParameterError,
+    ReproError,
+    ServiceClosedError,
+    ServiceOverloadError,
+    SnapshotError,
+)
+from .persistence import save_snapshot
+
+#: Largest accepted request body; registering a graph inline dominates.
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+class _HTTPFail(Exception):
+    """Internal short-circuit carrying a ready-to-send structured error."""
+
+    def __init__(self, status: int, kind: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.kind = kind
+
+
+def _classify(exc: Exception) -> Tuple[int, str]:
+    """Map a library exception to an HTTP status and error-type label."""
+    if isinstance(exc, ServiceOverloadError):
+        return 429, "ServiceOverloadError"
+    if isinstance(exc, ServiceClosedError):
+        return 503, "ServiceClosedError"
+    if isinstance(exc, CatalogError):
+        text = str(exc)
+        if "unknown catalog graph" in text:
+            return 404, "CatalogError"
+        if "already registered" in text:
+            return 409, "CatalogError"
+        return 400, "CatalogError"
+    if isinstance(exc, SnapshotError):
+        return 500, "SnapshotError"
+    if isinstance(exc, ParameterError):
+        return 400, "ParameterError"
+    if isinstance(exc, ReproError):
+        return 400, type(exc).__name__
+    return 500, type(exc).__name__
+
+
+class KPlexRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the owning server's :class:`KPlexService`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = f"kplex-enum/{__version__}"
+    # Socket inactivity bound so a stalled client cannot wedge the
+    # drain-time handler join forever.
+    timeout = 60.0
+
+    # ------------------------------------------------------------------ #
+    # Entry points
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._dispatch(
+            {
+                "/healthz": self._get_health,
+                "/v1/graphs": self._get_graphs,
+                "/v1/metrics": self._get_metrics,
+            }
+        )
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        self._dispatch(
+            {
+                "/v1/solve": self._post_solve,
+                "/v1/graphs": self._post_graphs,
+                "/v1/snapshot": self._post_snapshot,
+            }
+        )
+
+    def _dispatch(self, routes: Dict[str, object]) -> None:
+        parsed = urlparse(self.path)
+        handler = routes.get(parsed.path)
+        try:
+            if handler is None:
+                known = {"/healthz", "/v1/graphs", "/v1/metrics", "/v1/solve", "/v1/snapshot"}
+                if parsed.path in known:
+                    raise _HTTPFail(
+                        405, "MethodNotAllowed", f"{self.command} not allowed on {parsed.path}"
+                    )
+                raise _HTTPFail(404, "NotFound", f"no route for {parsed.path}")
+            handler(parse_qs(parsed.query))  # type: ignore[operator]
+        except _HTTPFail as fail:
+            self._send_error_body(fail.status, fail.kind, str(fail))
+        except Exception as exc:  # noqa: BLE001 - every error becomes a body
+            status, kind = _classify(exc)
+            self._send_error_body(status, kind, str(exc))
+
+    # ------------------------------------------------------------------ #
+    # Routes
+    # ------------------------------------------------------------------ #
+    def _get_health(self, _query: Dict[str, list]) -> None:
+        service = self.server.service  # type: ignore[attr-defined]
+        if self.server.draining or service.closed:  # type: ignore[attr-defined]
+            self._send_json(503, {"status": "draining"})
+            return
+        self._send_json(
+            200,
+            {
+                "status": "ok",
+                "graphs": len(service.catalog),
+                "in_flight": service.metrics()["in_flight"],
+            },
+        )
+
+    def _get_graphs(self, _query: Dict[str, list]) -> None:
+        service = self.server.service  # type: ignore[attr-defined]
+        self._send_json(200, {"graphs": service.catalog.info()})
+
+    def _get_metrics(self, query: Dict[str, list]) -> None:
+        service = self.server.service  # type: ignore[attr-defined]
+        fmt = (query.get("format") or ["json"])[0].lower()
+        if fmt == "prometheus":
+            self._send_text(200, service.metrics_prometheus_text())
+        elif fmt == "json":
+            self._send_json(200, service.metrics())
+        else:
+            raise _HTTPFail(400, "BadRequest", f"unknown metrics format {fmt!r}")
+
+    def _post_solve(self, _query: Dict[str, list]) -> None:
+        service = self.server.service  # type: ignore[attr-defined]
+        body = self._read_json_body()
+        name = self._require(body, "graph", str)
+        k = self._require(body, "k", int)
+        q = self._require(body, "q", int)
+        include_results = body.pop("include_results", True)
+        kwargs: Dict[str, object] = {}
+        if body.get("solver") is not None:
+            kwargs["solver"] = self._expect(body, "solver", str)
+        if body.get("variant") is not None:
+            kwargs["variant"] = self._expect(body, "variant", str)
+        if body.get("config") is not None:
+            config = self._expect(body, "config", dict)
+            try:
+                kwargs["config"] = EnumerationConfig(**config)
+            except (TypeError, ValueError) as exc:
+                raise _HTTPFail(400, "BadRequest", f"invalid config: {exc}") from exc
+        if body.get("timeout") is not None:
+            kwargs["timeout_seconds"] = self._expect(body, "timeout", (int, float))
+        if body.get("max_results") is not None:
+            kwargs["max_results"] = self._expect(body, "max_results", int)
+        if body.get("sort_results") is not None:
+            kwargs["sort_results"] = self._expect(body, "sort_results", bool)
+        if body.get("options") is not None:
+            kwargs["options"] = self._expect(body, "options", dict)
+        if body.get("query") is not None:
+            labels = self._expect(body, "query", list)
+            graph = service.catalog.get(name)
+            try:
+                kwargs["query_vertices"] = tuple(
+                    graph.index_of(label) for label in labels
+                )
+            except ReproError as exc:
+                raise _HTTPFail(400, "GraphError", str(exc)) from exc
+        for key in ("graph", "k", "q", "solver", "variant", "config", "timeout",
+                    "max_results", "sort_results", "options", "query"):
+            body.pop(key, None)
+        if body:
+            raise _HTTPFail(
+                400, "BadRequest", f"unknown request keys {sorted(body)}"
+            )
+        request = service.request(name, k, q, **kwargs)
+        future = service.submit(request)
+        deadline = self.server.request_deadline  # type: ignore[attr-defined]
+        try:
+            response = future.result(timeout=deadline)
+        except FutureTimeoutError:
+            future.cancel()
+            raise _HTTPFail(
+                504,
+                "DeadlineExceeded",
+                f"request exceeded the server-side deadline of {deadline}s",
+            ) from None
+        payload: Dict[str, object] = {"graph": name}
+        payload.update(response.as_dict(include_results=bool(include_results)))
+        self._send_json(200, payload)
+
+    def _post_graphs(self, _query: Dict[str, list]) -> None:
+        service = self.server.service  # type: ignore[attr-defined]
+        body = self._read_json_body()
+        name = self._require(body, "name", str)
+        sources = [key for key in ("edges", "path", "dataset") if body.get(key) is not None]
+        if len(sources) != 1:
+            raise _HTTPFail(
+                400,
+                "BadRequest",
+                "provide exactly one of 'edges', 'path' or 'dataset'",
+            )
+        if sources[0] == "edges":
+            from ..graph import Graph
+
+            edges = [tuple(edge) for edge in self._expect(body, "edges", list)]
+            try:
+                source: object = Graph.from_edges(edges, vertices=body.get("vertices"))
+            except ReproError as exc:
+                raise _HTTPFail(400, "GraphError", str(exc)) from exc
+        elif sources[0] == "path":
+            source = self._expect(body, "path", str)
+        else:
+            source = f"dataset:{self._expect(body, 'dataset', str)}"
+        prewarm = None
+        if body.get("prewarm") is not None:
+            prewarm = [tuple(pair) for pair in self._expect(body, "prewarm", list)]
+        entry = service.catalog.register(
+            name,
+            source,
+            fmt=body.get("fmt", "auto"),
+            prewarm=prewarm,
+            replace=bool(body.get("replace", False)),
+        )
+        self._send_json(201, entry.describe())
+
+    def _post_snapshot(self, _query: Dict[str, list]) -> None:
+        service = self.server.service  # type: ignore[attr-defined]
+        body = self._read_json_body(optional=True)
+        path = body.get("path") or self.server.snapshot_path  # type: ignore[attr-defined]
+        if not path:
+            raise _HTTPFail(
+                400,
+                "BadRequest",
+                "no snapshot path: configure --snapshot or pass {'path': ...}",
+            )
+        snapshot = save_snapshot(service, path)
+        self._send_json(
+            200,
+            {
+                "path": str(path),
+                "graphs": len(snapshot["graphs"]),
+                "hot_requests": len(snapshot["hot_requests"]),
+                "seed_specs": len(snapshot["seed_specs"]),
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # Body / response plumbing
+    # ------------------------------------------------------------------ #
+    def _read_json_body(self, optional: bool = False) -> Dict[str, object]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            if optional:
+                return {}
+            raise _HTTPFail(400, "BadRequest", "a JSON request body is required")
+        if length > MAX_BODY_BYTES:
+            raise _HTTPFail(
+                413, "PayloadTooLarge", f"request body exceeds {MAX_BODY_BYTES} bytes"
+            )
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise _HTTPFail(400, "BadRequest", f"invalid JSON body: {exc}") from exc
+        if not isinstance(body, dict):
+            raise _HTTPFail(400, "BadRequest", "the JSON body must be an object")
+        return body
+
+    @staticmethod
+    def _require(body: Dict[str, object], key: str, kind) -> object:
+        if key not in body:
+            raise _HTTPFail(400, "BadRequest", f"missing required key {key!r}")
+        return KPlexRequestHandler._expect(body, key, kind)
+
+    @staticmethod
+    def _expect(body: Dict[str, object], key: str, kind) -> object:
+        value = body[key]
+        if kind is int and isinstance(value, bool):
+            raise _HTTPFail(400, "BadRequest", f"{key!r} must be an integer")
+        if not isinstance(value, kind):
+            expected = getattr(kind, "__name__", None) or "/".join(
+                k.__name__ for k in kind
+            )
+            raise _HTTPFail(
+                400, "BadRequest", f"{key!r} must be of type {expected}"
+            )
+        return value
+
+    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+        encoded = json.dumps(payload, default=str).encode("utf-8")
+        self._send_bytes(status, encoded, "application/json")
+
+    def _send_text(self, status: int, text: str) -> None:
+        self._send_bytes(
+            status, text.encode("utf-8"), "text/plain; version=0.0.4; charset=utf-8"
+        )
+
+    def _send_error_body(self, status: int, kind: str, message: str) -> None:
+        encoded = json.dumps(
+            {"error": {"type": kind, "message": message, "status": status}}
+        ).encode("utf-8")
+        headers = {"Retry-After": "1"} if status == 429 else None
+        self._send_bytes(status, encoded, "application/json", headers)
+
+    def _send_bytes(
+        self,
+        status: int,
+        payload: bytes,
+        content_type: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            for key, value in (headers or {}).items():
+                self.send_header(key, value)
+            self.end_headers()
+            self.wfile.write(payload)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # client went away mid-response; nothing to salvage
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        """Route access logs through the server's logger (quiet by default)."""
+        self.server.log(format % args)  # type: ignore[attr-defined]

@@ -1,0 +1,404 @@
+"""Durable warm state for the serving layer (snapshot + warm-start replay).
+
+The in-memory caches of :class:`~repro.service.service.KPlexService` die
+with the process; this module makes their *hot set* survive a restart
+without ever persisting a result payload:
+
+* :func:`snapshot_service` captures the catalog registrations (with inline
+  edges for graphs that cannot be re-materialised from a file or dataset),
+  the :class:`~repro.service.cache.ResultCache`'s hottest **request specs**
+  and the :class:`~repro.service.cache.SeedContextCache`'s entry specs into
+  one versioned JSON document;
+* :func:`save_snapshot` writes it atomically (tmp file + ``os.replace``);
+* :func:`warm_start` re-registers the graphs and re-executes the persisted
+  specs through the normal service path, so a restarted server answers the
+  replayed workload from a warm cache.
+
+Staleness is impossible by construction on two levels.  First, replay
+*recomputes* — nothing cached is ever injected, so a warmed entry is as
+fresh as a client-triggered one.  Second, every spec carries the
+``Graph.epoch`` observed at snapshot time and :func:`warm_start` skips any
+spec whose epoch no longer matches the live graph: a snapshot taken before
+``bump_epoch()`` (or taken after mutations, loaded against a freshly
+re-materialised graph) warms nothing for that graph instead of warming
+questionable state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.config import EnumerationConfig
+from ..errors import ReproError, SnapshotError
+from ..graph import Graph
+from ..graph.prepared import prepare
+from ..service import KPlexService
+from ..service.cache import _INTERNAL_OPTIONS
+from ..service.catalog import DATASET_PREFIX
+
+SNAPSHOT_FORMAT = "kplex-service-snapshot"
+SNAPSHOT_VERSION = 1
+
+#: JSON-safe scalar types accepted for vertex labels and option values.
+_JSON_SCALARS = (str, int, float, bool)
+
+
+# --------------------------------------------------------------------------- #
+# Capture
+# --------------------------------------------------------------------------- #
+def _json_safe(value: object) -> bool:
+    if value is None or isinstance(value, _JSON_SCALARS):
+        return True
+    if isinstance(value, (list, tuple)):
+        return all(_json_safe(item) for item in value)
+    if isinstance(value, dict):
+        return all(
+            isinstance(key, str) and _json_safe(item) for key, item in value.items()
+        )
+    return False
+
+
+def _graph_spec(name: str, entry) -> Optional[Dict[str, object]]:
+    """One catalog registration as a restorable JSON object.
+
+    File and dataset sources are recorded by reference; graphs registered
+    from objects or raw edge iterables are inlined as labelled edge lists
+    (when their labels are JSON-safe — otherwise the graph cannot be
+    restored and the whole entry is dropped from the snapshot).
+    """
+    graph: Graph = entry.graph
+    spec: Dict[str, object] = {
+        "name": name,
+        "epoch": graph.epoch,
+        "prewarm_levels": list(entry.prewarmed_levels),
+    }
+    source: str = entry.source
+    if source.startswith(DATASET_PREFIX):
+        spec["dataset"] = source[len(DATASET_PREFIX) :]
+        return spec
+    if source.startswith("file:"):
+        spec["path"] = source[len("file:") :]
+        spec["fmt"] = entry.fmt
+        return spec
+    labels = graph.labels()
+    if not all(isinstance(label, (str, int)) for label in labels):
+        return None
+    spec["vertices"] = labels
+    spec["edges"] = [
+        [graph.label(u), graph.label(v)] for u, v in graph.edges()
+    ]
+    return spec
+
+
+def _config_dict(config: EnumerationConfig) -> Dict[str, object]:
+    return dataclasses.asdict(config)
+
+
+def _request_spec(request, name: str, epoch: int) -> Optional[Dict[str, object]]:
+    """One cached request as a replayable JSON object (no graph payload)."""
+    spec: Dict[str, object] = {
+        "graph": name,
+        "epoch": epoch,
+        "k": request.k,
+        "q": request.q,
+        "solver": request.solver,
+        "sort_results": request.sort_results,
+    }
+    if request.variant is not None:
+        spec["variant"] = request.variant
+    elif request.config is not None:
+        spec["config"] = _config_dict(request.config)
+    if request.query_vertices is not None:
+        labels = [request.graph.label(v) for v in request.query_vertices]
+        if not all(isinstance(label, (str, int)) for label in labels):
+            return None
+        spec["query"] = labels
+    if request.max_results is not None:
+        spec["max_results"] = request.max_results
+    options = {
+        key: value
+        for key, value in request.options.items()
+        if key not in _INTERNAL_OPTIONS
+    }
+    if options:
+        if not _json_safe(options):
+            return None
+        spec["options"] = options
+    return spec
+
+
+def snapshot_service(
+    service: KPlexService, max_requests: Optional[int] = None
+) -> Dict[str, object]:
+    """Capture the service's warm state as one versioned JSON document.
+
+    ``max_requests`` bounds the number of persisted hot request specs
+    (hottest first); seed-context specs are always included — they are a
+    few dozen bytes each.
+    """
+    catalog = service.catalog
+    graphs: List[Dict[str, object]] = []
+    restorable: Dict[int, str] = {}
+    for name in catalog.names():
+        entry = catalog.entry(name)
+        spec = _graph_spec(name, entry)
+        if spec is None:
+            continue
+        graphs.append(spec)
+        restorable[id(entry.graph)] = name
+
+    hot_requests: List[Dict[str, object]] = []
+    seen: set = set()
+    if service.result_cache is not None:
+        for request in service.result_cache.export_requests(limit=max_requests):
+            name = restorable.get(id(request.graph))
+            if name is None:
+                continue
+            spec = _request_spec(request, name, request.graph.epoch)
+            if spec is None:
+                continue
+            marker = json.dumps(spec, sort_keys=True, default=str)
+            if marker in seen:
+                continue
+            seen.add(marker)
+            hot_requests.append(spec)
+
+    seed_specs: List[Dict[str, object]] = []
+    if service.seed_context_cache is not None:
+        for graph, epoch, k, q, config in service.seed_context_cache.export_specs():
+            name = restorable.get(id(graph))
+            if name is None:
+                continue
+            seed_specs.append(
+                {
+                    "graph": name,
+                    "epoch": epoch,
+                    "k": k,
+                    "q": q,
+                    "config": _config_dict(config),
+                }
+            )
+
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "created_at": time.time(),
+        "graphs": graphs,
+        "hot_requests": hot_requests,
+        "seed_specs": seed_specs,
+    }
+
+
+def save_snapshot(
+    service: KPlexService,
+    path: Union[str, os.PathLike],
+    max_requests: Optional[int] = None,
+) -> Dict[str, object]:
+    """Snapshot ``service`` and write it to ``path`` atomically.
+
+    The document is staged in a uniquely named temp file in the target
+    directory and published with ``os.replace``: concurrent writers (the
+    periodic thread, a drain, ``POST /v1/snapshot``) each stage their own
+    file, so the published snapshot is always one writer's complete output.
+    """
+    snapshot = snapshot_service(service, max_requests=max_requests)
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    tmp_path = None
+    try:
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=os.path.basename(path) + ".tmp."
+        )
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+    except OSError as exc:
+        if tmp_path is not None:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+        raise SnapshotError(f"cannot write snapshot to {path!r}: {exc}") from exc
+    return snapshot
+
+
+# --------------------------------------------------------------------------- #
+# Restore
+# --------------------------------------------------------------------------- #
+def load_snapshot(path: Union[str, os.PathLike]) -> Dict[str, object]:
+    """Read and validate a snapshot document written by :func:`save_snapshot`."""
+    path = os.fspath(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"snapshot {path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(snapshot, dict) or snapshot.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError(f"{path!r} is not a {SNAPSHOT_FORMAT} document")
+    version = snapshot.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"snapshot {path!r} has version {version!r}; this build reads "
+            f"version {SNAPSHOT_VERSION}"
+        )
+    for key in ("graphs", "hot_requests", "seed_specs"):
+        if not isinstance(snapshot.get(key), list):
+            raise SnapshotError(f"snapshot {path!r} is missing the {key!r} list")
+    return snapshot
+
+
+@dataclass
+class WarmStartReport:
+    """Outcome of one :func:`warm_start` run (all counters, no payloads)."""
+
+    graphs_registered: int = 0
+    graphs_matched: int = 0
+    graphs_stale: int = 0
+    replayed: int = 0
+    skipped_stale: int = 0
+    failed: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-ready summary (logged by the CLI after boot)."""
+        return dataclasses.asdict(self)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"warm start: {self.replayed} specs replayed over "
+            f"{self.graphs_registered + self.graphs_matched} graphs "
+            f"({self.graphs_stale} stale graphs, {self.skipped_stale} stale "
+            f"specs, {self.failed} failures)"
+        )
+
+
+def _restore_graph(service: KPlexService, spec: Dict[str, object]) -> Tuple[bool, bool]:
+    """Ensure the spec's graph is registered; return (available, registered_now)."""
+    name = spec["name"]
+    if name in service.catalog:
+        return True, False
+    if "dataset" in spec:
+        source: object = f"{DATASET_PREFIX}{spec['dataset']}"
+    elif "path" in spec:
+        source = spec["path"]
+    else:
+        edges = [tuple(edge) for edge in spec.get("edges", [])]
+        graph = Graph.from_edges(edges, vertices=spec.get("vertices"))
+        source = graph
+    service.catalog.register(name, source, fmt=spec.get("fmt", "auto"))
+    return True, True
+
+
+def _replay_request(service: KPlexService, spec: Dict[str, object]):
+    kwargs: Dict[str, object] = {
+        "solver": spec.get("solver", "ours"),
+        "sort_results": spec.get("sort_results", True),
+    }
+    if spec.get("variant") is not None:
+        kwargs["variant"] = spec["variant"]
+    elif spec.get("config") is not None:
+        kwargs["config"] = EnumerationConfig(**spec["config"])
+    if spec.get("max_results") is not None:
+        kwargs["max_results"] = spec["max_results"]
+    if spec.get("options"):
+        kwargs["options"] = dict(spec["options"])
+    if spec.get("query") is not None:
+        graph = service.catalog.get(spec["graph"])
+        kwargs["query_vertices"] = tuple(
+            graph.index_of(label) for label in spec["query"]
+        )
+    request = service.request(spec["graph"], spec["k"], spec["q"], **kwargs)
+    return service.solve(request)
+
+
+def _replay_seed_spec(service: KPlexService, spec: Dict[str, object]):
+    # Seed contexts are config-dependent only; replaying the plain
+    # enumeration with that config rebuilds them (and is a cheap result-cache
+    # hit when a hot request already covered the cell).
+    return service.solve(
+        spec["graph"],
+        spec["k"],
+        spec["q"],
+        config=EnumerationConfig(**spec["config"]),
+    )
+
+
+def warm_start(
+    service: KPlexService,
+    snapshot: Union[str, os.PathLike, Dict[str, object]],
+    register_missing: bool = True,
+) -> WarmStartReport:
+    """Replay a snapshot's hot specs through ``service``'s normal path.
+
+    Graphs named by the snapshot are re-registered when absent (from their
+    dataset / file source or the inlined edges) unless ``register_missing``
+    is false.  A spec is replayed only when its recorded epoch equals the
+    live graph's current epoch; anything else is counted as stale and
+    skipped — see the module docstring for why this can never warm state
+    from before a mutation.  Individual replay failures are collected in
+    the report instead of aborting the boot.
+    """
+    if not isinstance(snapshot, dict):
+        snapshot = load_snapshot(snapshot)
+    report = WarmStartReport()
+    fresh: Dict[str, int] = {}
+    for spec in snapshot["graphs"]:
+        name = spec["name"]
+        try:
+            if name in service.catalog:
+                available, registered = True, False
+            elif register_missing:
+                available, registered = _restore_graph(service, spec)
+            else:
+                available, registered = False, False
+        except ReproError as exc:
+            report.errors.append(f"graph {name!r}: {exc}")
+            report.failed += 1
+            continue
+        if not available:
+            report.graphs_stale += 1
+            continue
+        current_epoch = service.catalog.get(name).epoch
+        if registered:
+            report.graphs_registered += 1
+        else:
+            report.graphs_matched += 1
+        if current_epoch != spec.get("epoch"):
+            # The graph changed since the snapshot (or the snapshot itself
+            # post-dates mutations a re-materialised graph knows nothing
+            # about): none of its specs may warm state.
+            report.graphs_stale += 1
+            continue
+        fresh[name] = current_epoch
+        for level in spec.get("prewarm_levels", ()):
+            try:
+                prepare(service.catalog.get(name)).prepared_core(int(level))
+            except ReproError:  # pragma: no cover - defensive
+                pass
+
+    for kind, specs in (("request", snapshot["hot_requests"]), ("seed", snapshot["seed_specs"])):
+        for spec in specs:
+            name = spec.get("graph")
+            if name not in fresh or spec.get("epoch") != fresh[name]:
+                report.skipped_stale += 1
+                continue
+            try:
+                if kind == "request":
+                    _replay_request(service, spec)
+                else:
+                    _replay_seed_spec(service, spec)
+                report.replayed += 1
+            except ReproError as exc:
+                report.failed += 1
+                report.errors.append(f"{kind} spec {name!r} k={spec.get('k')}: {exc}")
+    return report

@@ -23,7 +23,12 @@ Quick start
 1
 """
 
-from ..errors import CatalogError, ServiceError, ServiceOverloadError
+from ..errors import (
+    CatalogError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadError,
+)
 from .cache import ByteBudgetLRU, ResultCache, SeedContextCache, result_cache_key
 from .catalog import CatalogEntry, GraphCatalog
 from .service import (
@@ -33,6 +38,7 @@ from .service import (
     KPlexService,
     ServiceConfig,
     ServiceMetrics,
+    render_prometheus,
 )
 from .sizing import (
     estimate_graph_bytes,
@@ -54,6 +60,8 @@ __all__ = [
     "ServiceError",
     "CatalogError",
     "ServiceOverloadError",
+    "ServiceClosedError",
+    "render_prometheus",
     "OUTCOME_HIT",
     "OUTCOME_MISS",
     "OUTCOME_COALESCED",

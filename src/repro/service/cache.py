@@ -135,6 +135,15 @@ class ByteBudgetLRU:
             self._entries.clear()
             self._current_bytes = 0
 
+    def items_snapshot(self) -> List[Tuple[Hashable, object]]:
+        """``(key, value)`` pairs, hottest (most recently used) first.
+
+        A point-in-time copy for exporters — iterating it cannot race with
+        concurrent gets/puts, and it does not refresh recency.
+        """
+        with self._lock:
+            return [(key, value) for key, (value, _nbytes) in reversed(self._entries.items())]
+
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
@@ -282,6 +291,27 @@ class ResultCache:
             and value.request.graph is graph  # type: ignore[union-attr]
         )
 
+    def export_requests(
+        self, limit: Optional[int] = None
+    ) -> List[EnumerationRequest]:
+        """The requests behind the hottest *live* entries, MRU first.
+
+        Only entries stored under their graph's **current** epoch are
+        returned — entries stranded under an older epoch are unreachable and
+        must not be replayed.  This is the warm-start export: the specs are
+        small (no response payloads) and re-executing them through the
+        normal service path rebuilds the cache from scratch.
+        """
+        requests: List[EnumerationRequest] = []
+        for key, value in self._lru.items_snapshot():
+            response: EnumerationResponse = value  # type: ignore[assignment]
+            if key[1] != response.request.graph.epoch:  # type: ignore[index]
+                continue
+            requests.append(response.request)
+            if limit is not None and len(requests) >= limit:
+                break
+        return requests
+
     def clear(self) -> None:
         """Drop every entry."""
         self._lru.clear()
@@ -376,6 +406,27 @@ class SeedContextCache:
         return self._lru.remove_where(
             lambda key, value: key[0] == target and value[0] is graph
         )
+
+    def export_specs(
+        self, limit: Optional[int] = None
+    ) -> List[Tuple[Graph, int, int, int, EnumerationConfig]]:
+        """``(graph, epoch, k, q, config)`` of the live entries, MRU first.
+
+        The contexts themselves are deliberately not exported — replaying
+        the spec through a normal enumeration rebuilds them; only entries
+        under their graph's current epoch qualify (see
+        :meth:`ResultCache.export_requests`).
+        """
+        specs: List[Tuple[Graph, int, int, int, EnumerationConfig]] = []
+        for key, value in self._lru.items_snapshot():
+            graph = value[0]  # type: ignore[index]
+            _graph_id, epoch, k, q, config = key  # type: ignore[misc]
+            if epoch != graph.epoch:
+                continue
+            specs.append((graph, epoch, k, q, config))
+            if limit is not None and len(specs) >= limit:
+                break
+        return specs
 
     def clear(self) -> None:
         """Drop every entry."""

@@ -52,6 +52,7 @@ class CatalogEntry:
     source: str
     registered_at: float
     prewarmed_levels: Tuple[int, ...]
+    fmt: str = "auto"
 
     @property
     def num_vertices(self) -> int:
@@ -139,6 +140,7 @@ class GraphCatalog:
             source=source_label,
             registered_at=time.time(),
             prewarmed_levels=levels,
+            fmt=fmt,
         )
         with self._lock:
             previous = self._entries.get(name)

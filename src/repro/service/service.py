@@ -41,7 +41,7 @@ from ..api.response import (
 )
 from ..api.solvers import _ConfigurableSolver
 from ..api.registry import get_solver
-from ..errors import ParameterError, ServiceError, ServiceOverloadError
+from ..errors import ParameterError, ServiceClosedError, ServiceOverloadError
 from ..graph import Graph
 from .cache import ResultCache, SeedContextCache, result_cache_key
 from .catalog import GraphCatalog
@@ -113,6 +113,42 @@ def _percentile(sorted_samples: Sequence[float], fraction: float) -> float:
     return sorted_samples[rank]
 
 
+def _prometheus_name(parts: Sequence[str]) -> str:
+    name = "_".join(part for part in parts if part)
+    return "".join(ch if (ch.isalnum() or ch == "_") else "_" for ch in name)
+
+
+def render_prometheus(
+    metrics: Dict[str, object], prefix: str = "kplex"
+) -> str:
+    """Render a (possibly nested) metrics dict in Prometheus text format.
+
+    Nested dicts flatten into underscore-joined metric names
+    (``result_cache.hits`` becomes ``kplex_result_cache_hits``); ``None``
+    and non-numeric leaves are skipped; booleans become 0/1 gauges.  The
+    output is the version 0.0.4 exposition format every Prometheus scraper
+    accepts, with one ``# TYPE`` line per sample.
+    """
+    lines: List[str] = []
+
+    def emit(parts: Sequence[str], value: object) -> None:
+        if isinstance(value, dict):
+            for key, nested in value.items():
+                emit(list(parts) + [str(key)], nested)
+            return
+        if isinstance(value, bool):
+            value = int(value)
+        if not isinstance(value, (int, float)):
+            return
+        name = _prometheus_name(parts)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {value}")
+
+    for key, value in metrics.items():
+        emit([prefix, str(key)], value)
+    return "\n".join(lines) + "\n"
+
+
 class ServiceMetrics:
     """Thread-safe request counters and a bounded latency reservoir."""
 
@@ -139,6 +175,17 @@ class ServiceMetrics:
         """One request was turned away by admission control."""
         with self._lock:
             self.rejected += 1
+
+    def record_cancelled(self) -> None:
+        """One admitted request was cancelled before it ran.
+
+        Settles the in-flight gauge and counts an error, but records no
+        latency sample — a fabricated 0.0 would drag the p50/p95 estimates
+        down exactly when a backlog is being shed.
+        """
+        with self._lock:
+            self.in_flight -= 1
+            self.errors += 1
 
     def record_outcome(
         self,
@@ -190,6 +237,10 @@ class ServiceMetrics:
                 snapshot["latency_p95_seconds"] = _percentile(latencies, 0.95)
                 snapshot["latency_max_seconds"] = latencies[-1]
             return snapshot
+
+    def to_prometheus_text(self, prefix: str = "kplex") -> str:
+        """Render the snapshot counters in Prometheus exposition format."""
+        return render_prometheus(self.snapshot(), prefix=prefix)
 
 
 class _Inflight:
@@ -300,7 +351,9 @@ class KPlexService:
         rejection is the service's backpressure signal.
         """
         if self._closed:
-            raise ServiceError("the service has been closed")
+            raise ServiceClosedError(
+                "the service is closed and no longer accepts submissions"
+            )
         request = self._coerce(request, k, q, kwargs)
         capacity = self.config.max_workers + self.config.max_queue_depth
         with self._admission_lock:
@@ -400,6 +453,10 @@ class KPlexService:
         }
         return snapshot
 
+    def metrics_prometheus_text(self, prefix: str = "kplex") -> str:
+        """The full :meth:`metrics` snapshot in Prometheus text format."""
+        return render_prometheus(self.metrics(), prefix=prefix)
+
     @property
     def result_cache(self) -> Optional[ResultCache]:
         """The response cache (``None`` when disabled)."""
@@ -410,13 +467,26 @@ class KPlexService:
         """The seed-context tier (``None`` when disabled)."""
         return self._seed_cache
 
-    def close(self) -> None:
-        """Stop accepting requests and wait for in-flight work to finish."""
+    @property
+    def closed(self) -> bool:
+        """``True`` once :meth:`close` has begun; submissions are rejected."""
+        return self._closed
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting requests and shut the worker pool down.
+
+        With ``drain=True`` (the default) every admitted request — running
+        *and* queued — finishes normally and its future completes; new
+        submissions are rejected with :class:`ServiceClosedError` from the
+        moment the call starts.  With ``drain=False`` queued-but-unstarted
+        requests are cancelled (their futures raise ``CancelledError``) and
+        only the currently running ones are awaited.  Idempotent.
+        """
         self._closed = True
         with self._pool_lock:
             pool, self._pool = self._pool, None
         if pool is not None:
-            pool.shutdown(wait=True)
+            pool.shutdown(wait=True, cancel_futures=not drain)
 
     def __enter__(self) -> "KPlexService":
         return self
@@ -431,16 +501,22 @@ class KPlexService:
         with self._pool_lock:
             if self._pool is None:
                 if self._closed:
-                    raise ServiceError("the service has been closed")
+                    raise ServiceClosedError(
+                        "the service is closed and no longer accepts submissions"
+                    )
                 self._pool = ThreadPoolExecutor(
                     max_workers=self.config.max_workers,
                     thread_name_prefix="kplex-service",
                 )
             return self._pool
 
-    def _on_done(self, _future: "Future[EnumerationResponse]") -> None:
+    def _on_done(self, future: "Future[EnumerationResponse]") -> None:
         with self._admission_lock:
             self._outstanding -= 1
+        if future.cancelled():
+            # close(drain=False) cancelled it before _execute ran; settle the
+            # in-flight gauge the admission path already incremented.
+            self._metrics.record_cancelled()
 
     def _apply_defaults(self, request: EnumerationRequest) -> EnumerationRequest:
         if (

@@ -256,3 +256,57 @@ def test_serve_rejects_bad_register_spec(workload_file, capsys):
     captured = capsys.readouterr()
     assert exit_code == 1
     assert "NAME=SPEC" in captured.err
+
+
+def test_serve_snapshot_and_warm_start_share_format(graph_file, workload_file, tmp_path, capsys):
+    snapshot_file = tmp_path / "snap.json"
+    exit_code = main(
+        [
+            "serve", str(workload_file),
+            "--register", f"ring={graph_file}",
+            "--no-results", "--snapshot", str(snapshot_file),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert snapshot_file.exists()
+    assert "snapshot:" in captured.err
+
+    # a second batch run warm-starts from the same file: every workload
+    # request is now answered from the replayed cache
+    metrics_file = tmp_path / "metrics.json"
+    exit_code = main(
+        [
+            "serve", str(workload_file),
+            "--register", f"ring={graph_file}",
+            "--no-results", "--snapshot", str(snapshot_file),
+            "--warm-start", "--metrics", str(metrics_file),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "warm start:" in captured.err
+    metrics = json.loads(metrics_file.read_text())
+    assert metrics["cache_hits"] >= 4  # all four workload lines were warm
+
+
+def test_serve_warm_start_requires_snapshot_path(workload_file, capsys):
+    exit_code = main(["serve", str(workload_file), "--warm-start"])
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    assert "--warm-start requires --snapshot" in captured.err
+
+
+def test_serve_warm_start_tolerates_missing_snapshot(graph_file, workload_file, tmp_path, capsys):
+    snapshot_file = tmp_path / "never-written.json"
+    exit_code = main(
+        [
+            "serve", str(workload_file),
+            "--register", f"ring={graph_file}",
+            "--no-results", "--snapshot", str(snapshot_file),
+            "--warm-start",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "starting cold" in captured.err

@@ -46,7 +46,17 @@ def test_compare_algorithms_example(capsys):
     assert "Ours" in output and "ListPlex" in output and "FP" in output
 
 
+def test_http_demo_example(capsys):
+    # Boots two real serve-http subprocesses, drives them over the wire and
+    # asserts SIGTERM drains cleanly — the deployment story end to end.
+    output = _run_example("http_demo.py", capsys)
+    assert "SIGTERM -> drained, exit code 0" in output
+    assert "warm restart: same 6 results" in output
+    assert "demo complete: restart was warm, shutdown was clean" in output
+
+
 def test_examples_directory_contains_required_scripts():
     names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
     assert {"quickstart.py", "community_detection.py", "protein_complexes.py",
-            "compare_algorithms.py", "parallel_scaling.py", "maximum_kplex.py"} <= names
+            "compare_algorithms.py", "parallel_scaling.py", "maximum_kplex.py",
+            "service_demo.py", "http_demo.py"} <= names

@@ -95,6 +95,54 @@ def run_benches(repeats: int) -> Dict[str, object]:
         lambda: CSRGraph.from_graph(component_graph), repeats
     )
 
+    # ---- CSR kernel backends: full-graph sweeps (numpy vs array vs sets) ---- #
+    from repro.graph.csr import available_csr_backends, csr_class
+
+    sweep_graph = load_dataset("enwiki-2021")
+    benches["two_hop_sweep_set_backed"] = _timed(
+        lambda: [
+            len(sweep_graph.two_hop_neighbors(v)) for v in sweep_graph.vertices()
+        ],
+        repeats,
+    )
+    array_csr = csr_class("array").from_graph(sweep_graph)
+    benches["two_hop_sweep_csr_array"] = _timed(array_csr.two_hop_counts, repeats)
+    if "numpy" in available_csr_backends():
+        numpy_csr = csr_class("numpy").from_graph(sweep_graph)
+        benches["two_hop_sweep_csr_numpy"] = _timed(numpy_csr.two_hop_counts, repeats)
+        benches["core_peel_csr_numpy"] = _timed(
+            lambda: [numpy_csr.k_core_alive(level) for level in (2, 4, 8)], repeats
+        )
+        benches["core_peel_csr_array"] = _timed(
+            lambda: [array_csr.k_core_alive(level) for level in (2, 4, 8)], repeats
+        )
+
+    # ---- shared-memory worker transfer vs per-worker pickle ---- #
+    from repro.graph.shared import attach_prepared, shared_memory_available
+
+    if shared_memory_available():
+        import pickle as _pickle
+
+        transfer_prepared = prepare(sweep_graph)
+        transfer_prepared.csr
+        transfer_prepared.position
+        payload = transfer_prepared.for_worker_transfer()
+        benches["worker_transfer_pickle_roundtrip"] = _timed(
+            lambda: _pickle.loads(_pickle.dumps(payload)), repeats
+        )
+        with transfer_prepared.share() as shared_graph:
+            descriptor = shared_graph.descriptor()
+            benches["worker_transfer_shm_attach"] = _timed(
+                lambda: attach_prepared(descriptor), repeats
+            )
+            shm_bytes = {
+                "pickled_bytes_per_worker": len(_pickle.dumps(payload)),
+                "descriptor_bytes_per_worker": len(_pickle.dumps(descriptor)),
+                "segment_bytes_total": shared_graph.nbytes,
+            }
+    else:  # pragma: no cover - platforms without /dev/shm
+        shm_bytes = None
+
     edges = list(component_graph.edges())
     benches["graph_from_edges"] = _timed(lambda: Graph.from_edges(edges), repeats)
 
@@ -201,9 +249,19 @@ def run_benches(repeats: int) -> Dict[str, object]:
     service_cached = benches["service_replay_cached"]["median_seconds"]
     http_cold = benches["http_restart_cold_serve"]["median_seconds"]
     http_warm = benches["http_restart_warm_started_serve"]["median_seconds"]
+    sweep_set = benches["two_hop_sweep_set_backed"]["median_seconds"]
+    sweep_numpy = (
+        benches["two_hop_sweep_csr_numpy"]["median_seconds"]
+        if "two_hop_sweep_csr_numpy" in benches
+        else None
+    )
     derived = {
         "repeated_query_speedup": round(uncached / cached, 2) if cached else None,
         "requests_per_replay": REPEATED_QUERIES,
+        "two_hop_sweep_numpy_speedup": (
+            round(sweep_set / sweep_numpy, 2) if sweep_numpy else None
+        ),
+        "worker_transfer_bytes": shm_bytes,
         "service_replay_speedup": (
             round(service_bare / service_cached, 2) if service_cached else None
         ),

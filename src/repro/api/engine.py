@@ -109,7 +109,10 @@ class KPlexEngine:
 
     @staticmethod
     def prepare(
-        graph: Graph, k: Optional[int] = None, q: Optional[int] = None
+        graph: Graph,
+        k: Optional[int] = None,
+        q: Optional[int] = None,
+        csr_backend: Optional[str] = None,
     ) -> PreparedGraph:
         """Pre-warm the prepared-graph index of ``graph`` and return it.
 
@@ -124,12 +127,16 @@ class KPlexEngine:
         depend on ``q - k``.  Pass the ``k``/``q`` a service expects to also
         warm that core and its degeneracy ordering, moving the whole
         preprocessing cost of the first matching request out of its latency.
+
+        ``csr_backend`` pins the CSR kernel backend (``"array"``/
+        ``"numpy"``/``"auto"``) for this graph's index; ``None`` keeps the
+        index's current setting.
         """
         if (k is None) != (q is None):
             raise ParameterError(
                 "pass both k and q to warm a core level, or neither"
             )
-        prepared = _prepare_graph(graph)
+        prepared = _prepare_graph(graph, csr_backend=csr_backend)
         prepared.csr
         if k is not None and q is not None:
             validate_parameters(k, q, enforce_diameter_bound=False)

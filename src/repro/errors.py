@@ -21,6 +21,10 @@ class FormatError(ReproError):
     """Raised when a graph file cannot be parsed in the requested format."""
 
 
+class SharedMemoryError(ReproError):
+    """Raised when a shared-memory graph segment cannot be created or attached."""
+
+
 class ServiceError(ReproError):
     """Base class for errors raised by the serving layer (:mod:`repro.service`)."""
 

@@ -1,239 +1,143 @@
-"""Compressed sparse row (CSR) graph kernel.
+"""Compressed sparse row (CSR) graph kernel — backend facade.
 
 The set-backed :class:`~repro.graph.graph.Graph` is convenient for
 correctness-oriented code, but the enumeration hot path — (q-k)-core
 shrinking, degeneracy ordering and per-seed two-hop subgraph construction —
-spends most of its time walking adjacency.  :class:`CSRGraph` stores the same
+spends most of its time walking adjacency.  The CSR kernel stores the same
 graph as two flat integer arrays (the layout the paper's C++ baselines such
-as ListPlex/FaPlexen use):
+as ListPlex/FaPlexen use) and comes in two interchangeable backends:
 
-* ``offsets[v] .. offsets[v+1]`` delimits the neighbour row of ``v`` inside
-  ``neighbors``;
-* every row is sorted, so ``has_edge`` is a binary search and induced
-  subgraph rows come out already sorted.
+* ``array`` — :class:`~repro.graph.csr_backend_array.CSRGraph`, pure
+  stdlib, always available;
+* ``numpy`` — :class:`~repro.graph.csr_backend_numpy.NumpyCSRGraph`,
+  vectorised kernels (blocked two-hop sweep, bincount core peeling,
+  packbits projections), used by default whenever numpy imports.
 
-Two implementation notes from measuring on the bundled datasets (pure
-CPython; see ``BENCH_results.json``):
+Both backends share one storage convention (:mod:`repro.graph.csr_types`:
+typecodes/dtypes derived from measured item sizes, sorted-row invariant,
+validation) and must produce bit-identical results — the cross-backend
+equivalence suite in ``tests/test_csr_backends.py`` enforces it.
 
-* two-hop expansion feeds whole row slices to C-level ``set.update`` /
-  ``set.difference_update`` instead of marking vertices one by one in an
-  interpreted loop — the slice path is ~2.5x faster;
-* induced-row extraction does use a per-thread visited/position scratch
-  array (reset after use, so repeated extractions allocate nothing beyond
-  their output), which avoids building a dictionary per projection.
+Backend selection, most specific wins:
+
+1. an explicit ``backend=`` argument to :func:`build_csr` (or the
+   ``csr_backend`` knobs on ``prepare()`` / the engine / the service);
+2. a process-wide default installed with :func:`set_default_csr_backend`
+   (the CLI's ``--csr-backend`` flag);
+3. the ``REPRO_CSR_BACKEND`` environment variable (used by CI to force the
+   array fallback);
+4. ``numpy`` when importable, else ``array``.
 """
 
 from __future__ import annotations
 
-import threading
-from array import array
-from bisect import bisect_left
-from typing import Iterable, List, Sequence
+import os
+from typing import List, Optional, Type
 
 from ..errors import GraphError
+from .csr_backend_array import CSRGraph
+from .csr_types import (
+    index_itemsize,
+    neighbor_typecode,
+    normalize_adjacency,
+    numpy_index_dtype,
+    numpy_offset_dtype,
+    offset_itemsize,
+    offset_typecode,
+)
 from .graph import Graph
 
+#: Environment variable overriding the automatic backend choice.
+CSR_BACKEND_ENV = "REPRO_CSR_BACKEND"
 
-class _Scratch(threading.local):
-    """Per-thread scratch buffer sized to the graph (lazily grown)."""
+try:  # the numpy backend is optional by design
+    from .csr_backend_numpy import NumpyCSRGraph
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    NumpyCSRGraph = None  # type: ignore[assignment]
 
-    def __init__(self) -> None:
-        self.position: array = array("l")
+_BACKENDS = {"array": CSRGraph}
+if NumpyCSRGraph is not None:
+    _BACKENDS["numpy"] = NumpyCSRGraph
 
-    def position_array(self, size: int) -> array:
-        """Return the position array, every entry guaranteed to be ``-1``."""
-        if len(self.position) < size:
-            self.position = array("l", [-1]) * size
-        return self.position
+#: Process-wide default installed via :func:`set_default_csr_backend`.
+_CONFIGURED_DEFAULT: Optional[str] = None
 
 
-class CSRGraph:
-    """Flat sorted-adjacency-array view of an undirected simple graph.
+def available_csr_backends() -> List[str]:
+    """Names of the CSR backends importable in this process."""
+    return sorted(_BACKENDS)
 
-    Vertex ids are the same contiguous ``0 .. n-1`` space as the source
-    :class:`Graph`; only the storage differs.  Instances are immutable and
-    safe to share across threads (scratch buffers are thread-local) and to
-    pickle into worker processes.
+
+def set_default_csr_backend(backend: Optional[str]) -> str:
+    """Install a process-wide default backend; returns the resolved name.
+
+    ``None`` or ``"auto"`` restores automatic resolution (environment
+    variable, then numpy-if-available).
     """
+    global _CONFIGURED_DEFAULT
+    if backend is None or backend == "auto":
+        _CONFIGURED_DEFAULT = None
+    else:
+        _CONFIGURED_DEFAULT = _validated(backend)
+    return default_csr_backend()
 
-    __slots__ = ("num_vertices", "num_edges", "offsets", "neighbors", "_scratch")
 
-    def __init__(self, offsets: array, neighbors: array) -> None:
-        self.offsets = offsets
-        self.neighbors = neighbors
-        self.num_vertices = len(offsets) - 1
-        self.num_edges = len(neighbors) // 2
-        self._scratch = _Scratch()
+def default_csr_backend() -> str:
+    """The backend used when no explicit choice is supplied."""
+    if _CONFIGURED_DEFAULT is not None:
+        return _CONFIGURED_DEFAULT
+    env = os.environ.get(CSR_BACKEND_ENV)
+    if env and env != "auto":
+        return _validated(env)
+    return "numpy" if "numpy" in _BACKENDS else "array"
 
-    # ------------------------------------------------------------------ #
-    # Construction
-    # ------------------------------------------------------------------ #
-    @classmethod
-    def from_graph(cls, graph: Graph) -> "CSRGraph":
-        """Build the CSR form of ``graph`` (rows sorted ascending)."""
-        n = graph.num_vertices
-        offsets = array("l", [0]) * (n + 1)
-        neighbors = array("i")
-        total = 0
-        for vertex in range(n):
-            row = sorted(graph.neighbors(vertex))
-            neighbors.extend(row)
-            total += len(row)
-            offsets[vertex + 1] = total
-        return cls(offsets, neighbors)
 
-    @classmethod
-    def from_adjacency(cls, adjacency: Sequence[Iterable[int]]) -> "CSRGraph":
-        """Build from a sequence of neighbour collections (validated nowhere)."""
-        offsets = array("l", [0]) * (len(adjacency) + 1)
-        neighbors = array("i")
-        total = 0
-        for vertex, row in enumerate(adjacency):
-            sorted_row = sorted(row)
-            neighbors.extend(sorted_row)
-            total += len(sorted_row)
-            offsets[vertex + 1] = total
-        return cls(offsets, neighbors)
+def resolve_csr_backend(backend: Optional[str] = None) -> str:
+    """Resolve ``backend`` (``None``/``"auto"`` = the current default)."""
+    if backend is None or backend == "auto":
+        return default_csr_backend()
+    return _validated(backend)
 
-    # ------------------------------------------------------------------ #
-    # Pickling (scratch buffers are per-process, never shipped)
-    # ------------------------------------------------------------------ #
-    def __reduce__(self):
-        return (CSRGraph, (self.offsets, self.neighbors))
 
-    # ------------------------------------------------------------------ #
-    # Basic accessors
-    # ------------------------------------------------------------------ #
-    def degree(self, vertex: int) -> int:
-        """Return the degree of ``vertex``."""
-        return self.offsets[vertex + 1] - self.offsets[vertex]
+def _validated(backend: str) -> str:
+    if backend not in ("array", "numpy"):
+        raise GraphError(
+            f"unknown CSR backend {backend!r}; expected one of "
+            f"'auto', 'array', 'numpy'"
+        )
+    if backend not in _BACKENDS:
+        raise GraphError(
+            f"CSR backend {backend!r} is unavailable in this environment "
+            f"(numpy failed to import); available: {available_csr_backends()}"
+        )
+    return backend
 
-    def degrees(self) -> List[int]:
-        """Return all vertex degrees indexed by vertex id."""
-        offsets = self.offsets
-        return [offsets[v + 1] - offsets[v] for v in range(self.num_vertices)]
 
-    def neighbors_list(self, vertex: int) -> List[int]:
-        """Return the sorted neighbour list of ``vertex`` (a fresh list)."""
-        return self.neighbors[self.offsets[vertex] : self.offsets[vertex + 1]].tolist()
+def csr_class(backend: Optional[str] = None) -> Type[CSRGraph]:
+    """The CSR implementation class for ``backend``."""
+    return _BACKENDS[resolve_csr_backend(backend)]
 
-    def has_edge(self, u: int, v: int) -> bool:
-        """Return ``True`` if ``u`` and ``v`` are adjacent (binary search)."""
-        lo = self.offsets[u]
-        hi = self.offsets[u + 1]
-        index = bisect_left(self.neighbors, v, lo, hi)
-        return index < hi and self.neighbors[index] == v
 
-    # ------------------------------------------------------------------ #
-    # Neighbourhood expansion (C-level set fills over flat row slices)
-    # ------------------------------------------------------------------ #
-    def two_hop_neighbors(self, vertex: int) -> List[int]:
-        """Return the sorted vertices at distance exactly two from ``vertex``.
+def build_csr(graph: Graph, backend: Optional[str] = None) -> CSRGraph:
+    """Build the CSR form of ``graph`` with the selected backend."""
+    return csr_class(backend).from_graph(graph)
 
-        Each first-hop row is fed to ``set.update`` as one contiguous array
-        slice, so the whole expansion runs in C; no per-vertex Python-level
-        membership tests happen.
-        """
-        offsets = self.offsets
-        neighbors = self.neighbors
-        start = offsets[vertex]
-        stop = offsets[vertex + 1]
-        second: set = set()
-        update = second.update
-        for index in range(start, stop):
-            middle = neighbors[index]
-            update(neighbors[offsets[middle] : offsets[middle + 1]])
-        second.discard(vertex)
-        second.difference_update(neighbors[start:stop])
-        return sorted(second)
 
-    def neighborhood_within_two_hops(self, vertex: int) -> List[int]:
-        """Return the sorted closed two-hop ball ``{v} ∪ N(v) ∪ N²(v)``."""
-        offsets = self.offsets
-        neighbors = self.neighbors
-        start = offsets[vertex]
-        stop = offsets[vertex + 1]
-        closed: set = {vertex}
-        closed.update(neighbors[start:stop])
-        update = closed.update
-        for index in range(start, stop):
-            middle = neighbors[index]
-            update(neighbors[offsets[middle] : offsets[middle + 1]])
-        return sorted(closed)
-
-    # ------------------------------------------------------------------ #
-    # Subgraph extraction
-    # ------------------------------------------------------------------ #
-    def rows_onto(
-        self, sources: Sequence[int], targets: Sequence[int]
-    ) -> List[int]:
-        """Project the adjacency of ``sources`` onto local bitset rows.
-
-        ``targets`` defines the local index space (``targets[i]`` gets bit
-        ``i``); the result has one bitset row per source vertex.  With
-        ``sources == targets`` this is exactly the adjacency-row construction
-        of :class:`~repro.graph.dense.DenseSubgraph`.
-        """
-        n = self.num_vertices
-        for vertex in targets:
-            if not 0 <= vertex < n:
-                raise GraphError(f"target vertex {vertex} is out of range")
-        for vertex in sources:
-            if not 0 <= vertex < n:
-                raise GraphError(f"source vertex {vertex} is out of range")
-        offsets = self.offsets
-        neighbors = self.neighbors
-        position = self._scratch.position_array(n)
-        try:
-            for local, vertex in enumerate(targets):
-                position[vertex] = local
-            rows: List[int] = []
-            for vertex in sources:
-                row = 0
-                for index in range(offsets[vertex], offsets[vertex + 1]):
-                    local = position[neighbors[index]]
-                    if local >= 0:
-                        row |= 1 << local
-                rows.append(row)
-        finally:
-            # The scratch array is shared by every projection on this thread;
-            # restore it even on error so later calls stay correct.
-            for vertex in targets:
-                position[vertex] = -1
-        return rows
-
-    def induced_rows(self, vertices: Sequence[int]) -> List[int]:
-        """Bitset adjacency rows of the induced subgraph on ``vertices``."""
-        return self.rows_onto(vertices, vertices)
-
-    def induced_adjacency(self, kept: Sequence[int]) -> List[List[int]]:
-        """Sorted adjacency lists of the induced subgraph on ``kept``.
-
-        ``kept`` must be sorted ascending; local ids then preserve the vertex
-        order, so each output row is already sorted.
-        """
-        n = self.num_vertices
-        for vertex in kept:
-            if not 0 <= vertex < n:
-                raise GraphError(f"vertex {vertex} is out of range")
-        offsets = self.offsets
-        neighbors = self.neighbors
-        position = self._scratch.position_array(n)
-        try:
-            for local, vertex in enumerate(kept):
-                position[vertex] = local
-            adjacency: List[List[int]] = []
-            for vertex in kept:
-                row: List[int] = []
-                for index in range(offsets[vertex], offsets[vertex + 1]):
-                    local = position[neighbors[index]]
-                    if local >= 0:
-                        row.append(local)
-                adjacency.append(row)
-        finally:
-            for vertex in kept:
-                position[vertex] = -1
-        return adjacency
-
-    def __repr__(self) -> str:
-        return f"CSRGraph(n={self.num_vertices}, m={self.num_edges})"
+__all__ = [
+    "CSRGraph",
+    "NumpyCSRGraph",
+    "CSR_BACKEND_ENV",
+    "available_csr_backends",
+    "build_csr",
+    "csr_class",
+    "default_csr_backend",
+    "resolve_csr_backend",
+    "set_default_csr_backend",
+    "normalize_adjacency",
+    "offset_typecode",
+    "neighbor_typecode",
+    "offset_itemsize",
+    "index_itemsize",
+    "numpy_offset_dtype",
+    "numpy_index_dtype",
+]

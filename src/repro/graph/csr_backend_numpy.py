@@ -1,0 +1,377 @@
+"""Vectorised numpy CSR backend.
+
+Same interface and bit-identical results as the ``array`` backend
+(:mod:`repro.graph.csr_backend_array`), with the interpreted inner loops
+replaced by numpy primitives:
+
+* ``has_edge`` is ``np.searchsorted`` over the row slice;
+* two-hop expansion gathers all second-hop rows with one fancy-indexed
+  read (the classic repeat/cumsum multi-slice gather) and deduplicates
+  with ``np.unique``;
+* the full-graph :meth:`two_hop_counts` sweep packs the adjacency matrix
+  into bit rows (``np.packbits``) and OR-reduces each vertex's neighbour
+  rows with one ``np.bitwise_or.reduceat`` — a boolean-semiring sparse
+  matrix product over machine words; graphs too large for a packed matrix
+  fall back to a chunked scatter-gather.  This is the kernel microbench
+  gated at >= 2x over the frozenset path in
+  ``benchmarks/bench_csr_numpy.py``;
+* ``k_core_alive`` peels rounds of doomed vertices at once, decrementing
+  survivor degrees with one ``np.bincount`` per round;
+* induced-row / ``rows_onto`` projection scatters the local index map and
+  packs bitset rows with ``np.packbits``.
+
+Dtypes are derived from :mod:`repro.graph.csr_types` — the same helper the
+``array`` backend and the shared-memory transport use — so the flat buffers
+of the two backends are interchangeable byte-for-byte.
+
+Every value returned across the API boundary is a Python ``int`` (or a list
+thereof), never a numpy scalar: bitset masks built from ``np.int64`` would
+silently overflow at 64 vertices.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import GraphError
+from .csr_backend_array import CSRGraph
+from .csr_types import numpy_index_dtype, numpy_offset_dtype
+from .graph import Graph
+
+#: Above this vertex count the packed adjacency matrix of the bitset sweep
+#: would exceed ~32 MiB (n^2 / 8 bytes); fall back to chunked scatter.
+_PACKED_SWEEP_LIMIT = 16384
+
+#: Upper bound on scratch matrix cells used by blocked/chunked kernels.
+_BLOCK_CELLS = 1 << 22
+
+#: Upper bound on bytes gathered per block by the packed sweep.
+_GATHER_BYTES = 32 << 20
+
+if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+
+    def _popcount_rows(matrix: np.ndarray) -> np.ndarray:
+        return np.bitwise_count(matrix).sum(axis=1, dtype=np.int64)
+
+else:  # pragma: no cover - numpy 1.x fallback
+    _POPCOUNT_LUT = np.array(
+        [bin(value).count("1") for value in range(256)], dtype=np.uint8
+    )
+
+    def _popcount_rows(matrix: np.ndarray) -> np.ndarray:
+        return _POPCOUNT_LUT[matrix].sum(axis=1, dtype=np.int64)
+
+
+class _NumpyScratch(threading.local):
+    """Per-thread ``position`` scratch for the vectorised projections."""
+
+    def __init__(self) -> None:
+        self.position = np.empty(0, dtype=numpy_index_dtype())
+
+    def position_array(self, size: int) -> np.ndarray:
+        if self.position.size < size:
+            self.position = np.full(size, -1, dtype=numpy_index_dtype())
+        return self.position
+
+
+class NumpyCSRGraph(CSRGraph):
+    """CSR kernel over ``np.ndarray`` offsets/neighbors (see module docstring)."""
+
+    backend = "numpy"
+
+    __slots__ = ()
+
+    def __init__(self, offsets, neighbors) -> None:
+        offsets = np.ascontiguousarray(offsets, dtype=numpy_offset_dtype())
+        neighbors = np.ascontiguousarray(neighbors, dtype=numpy_index_dtype())
+        self.offsets = offsets
+        self.neighbors = neighbors
+        self.num_vertices = len(offsets) - 1
+        self.num_edges = len(neighbors) // 2
+        self._scratch = _NumpyScratch()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def _from_rows(cls, rows, n: int) -> "NumpyCSRGraph":
+        offsets = np.zeros(n + 1, dtype=numpy_offset_dtype())
+        chunks: List[Sequence[int]] = []
+        total = 0
+        for vertex, row in enumerate(rows):
+            chunks.append(row)
+            total += len(row)
+            offsets[vertex + 1] = total
+        if chunks:
+            flat = np.fromiter(
+                (v for row in chunks for v in row),
+                dtype=numpy_index_dtype(),
+                count=total,
+            )
+        else:
+            flat = np.empty(0, dtype=numpy_index_dtype())
+        return cls(offsets, flat)
+
+    @classmethod
+    def attach(cls, offsets_buffer, neighbors_buffer) -> "NumpyCSRGraph":
+        """Zero-copy view over externally owned buffers (shared memory)."""
+        instance = cls.__new__(cls)
+        instance.offsets = np.frombuffer(offsets_buffer, dtype=numpy_offset_dtype())
+        instance.neighbors = np.frombuffer(neighbors_buffer, dtype=numpy_index_dtype())
+        instance.num_vertices = len(instance.offsets) - 1
+        instance.num_edges = len(instance.neighbors) // 2
+        instance._scratch = _NumpyScratch()
+        return instance
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    def degree(self, vertex: int) -> int:
+        return int(self.offsets[vertex + 1] - self.offsets[vertex])
+
+    def degrees(self) -> List[int]:
+        return np.diff(self.offsets).tolist()
+
+    def neighbors_list(self, vertex: int) -> List[int]:
+        return self.neighbors[self.offsets[vertex] : self.offsets[vertex + 1]].tolist()
+
+    def has_edge(self, u: int, v: int) -> bool:
+        row = self.neighbors[self.offsets[u] : self.offsets[u + 1]]
+        index = int(np.searchsorted(row, v))
+        return index < row.size and int(row[index]) == v
+
+    # ------------------------------------------------------------------ #
+    # Vectorised gathers
+    # ------------------------------------------------------------------ #
+    def _gather_rows(self, vertices: np.ndarray):
+        """Concatenated neighbour rows of ``vertices`` plus per-row lengths."""
+        starts = self.offsets[vertices].astype(np.int64, copy=False)
+        counts = (self.offsets[vertices + 1] - self.offsets[vertices]).astype(
+            np.int64, copy=False
+        )
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64), counts
+        shifts = np.repeat(
+            starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+        )
+        values = self.neighbors[shifts + np.arange(total, dtype=np.int64)]
+        return values.astype(np.int64, copy=False), counts
+
+    @staticmethod
+    def _in_sorted(values: np.ndarray, reference: np.ndarray) -> np.ndarray:
+        """Membership mask of ``values`` in the sorted unique ``reference``."""
+        if reference.size == 0:
+            return np.zeros(values.shape, dtype=bool)
+        positions = np.searchsorted(reference, values)
+        positions[positions >= reference.size] = reference.size - 1
+        return reference[positions] == values
+
+    # ------------------------------------------------------------------ #
+    # Neighbourhood expansion
+    # ------------------------------------------------------------------ #
+    def two_hop_neighbors(self, vertex: int) -> List[int]:
+        first = self.neighbors[
+            self.offsets[vertex] : self.offsets[vertex + 1]
+        ].astype(np.int64, copy=False)
+        if first.size == 0:
+            return []
+        second, _ = self._gather_rows(first)
+        if second.size == 0:
+            return []
+        second = np.unique(second)
+        second = second[~self._in_sorted(second, first)]
+        return second[second != vertex].tolist()
+
+    def neighborhood_within_two_hops(self, vertex: int) -> List[int]:
+        first = self.neighbors[
+            self.offsets[vertex] : self.offsets[vertex + 1]
+        ].astype(np.int64, copy=False)
+        second, _ = self._gather_rows(first)
+        closed = np.unique(
+            np.concatenate((np.array([vertex], dtype=np.int64), first, second))
+        )
+        return closed.tolist()
+
+    def two_hop_counts(self) -> List[int]:
+        """Full-graph two-hop sweep (the gated kernel microbench).
+
+        Graphs whose packed adjacency matrix fits the
+        :data:`_PACKED_SWEEP_LIMIT` budget run the bit-parallel kernel:
+        ``reach(v) = OR of the packed rows of N(v)``, one
+        ``np.bitwise_or.reduceat`` over the gathered rows, then a popcount
+        per row after masking out distance <= 1.  Larger graphs fall back
+        to a chunked scatter-gather that bounds scratch memory by
+        :data:`_BLOCK_CELLS` cells.
+        """
+        n = self.num_vertices
+        if n == 0:
+            return []
+        if n <= _PACKED_SWEEP_LIMIT:
+            return self._two_hop_counts_packed(n)
+        return self._two_hop_counts_chunked(n)
+
+    def _packed_adjacency(self, n: int, words: int) -> np.ndarray:
+        """Adjacency as little-endian bit rows (``words`` uint8 per vertex)."""
+        degrees = np.diff(self.offsets).astype(np.int64, copy=False)
+        owners = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        neighbors64 = self.neighbors.astype(np.int64, copy=False)
+        packed = np.empty((n, words), dtype=np.uint8)
+        block = max(1, _BLOCK_CELLS // n)
+        offsets64 = self.offsets.astype(np.int64, copy=False)
+        for start in range(0, n, block):
+            stop = min(n, start + block)
+            lo, hi = int(offsets64[start]), int(offsets64[stop])
+            dense = np.zeros((stop - start, n), dtype=bool)
+            dense[owners[lo:hi] - start, neighbors64[lo:hi]] = True
+            packed[start:stop] = np.packbits(dense, axis=1, bitorder="little")
+        return packed
+
+    def _two_hop_counts_packed(self, n: int) -> List[int]:
+        words = (n + 7) >> 3
+        packed = self._packed_adjacency(n, words)
+        offsets64 = self.offsets.astype(np.int64, copy=False)
+        neighbors64 = self.neighbors.astype(np.int64, copy=False)
+        degrees = np.diff(offsets64)
+        counts = np.zeros(n, dtype=np.int64)
+        max_slots = max(1, _GATHER_BYTES // words)
+        start = 0
+        while start < n:
+            # Grow the vertex block until its neighbour slots hit the gather
+            # budget (empty rows are free, so blocks are vertex ranges).
+            base = int(offsets64[start])
+            stop = int(np.searchsorted(offsets64, base + max_slots, side="right")) - 1
+            stop = max(start + 1, min(n, stop))
+            active = np.flatnonzero(degrees[start:stop] > 0) + start
+            if active.size:
+                gathered = packed[neighbors64[base : int(offsets64[stop])]]
+                reach = np.bitwise_or.reduceat(
+                    gathered, offsets64[active] - base, axis=0
+                )
+                reach &= ~packed[active]  # drop direct neighbours
+                reach[np.arange(active.size), active >> 3] &= ~(
+                    np.uint8(1) << (active & 7).astype(np.uint8)
+                )  # drop the vertex itself
+                counts[active] = _popcount_rows(reach)
+            start = stop
+        return counts.tolist()
+
+    def _two_hop_counts_chunked(self, n: int) -> List[int]:
+        degrees = np.diff(self.offsets).astype(np.int64, copy=False)
+        neighbors64 = self.neighbors.astype(np.int64, copy=False)
+        counts_out = np.empty(n, dtype=np.int64)
+        chunk = max(1, _BLOCK_CELLS // n)
+        mark = np.zeros((chunk, n), dtype=bool)
+        for start in range(0, n, chunk):
+            stop = min(n, start + chunk)
+            width = stop - start
+            vertices = np.arange(start, stop, dtype=np.int64)
+            first, first_counts = self._gather_rows(vertices)
+            second, second_counts = self._gather_rows(first)
+            # Owner (chunk-local row) of every first-/second-hop element.
+            first_owner = np.repeat(np.arange(width, dtype=np.int64), first_counts)
+            second_owner = np.repeat(first_owner, second_counts)
+            mark[:width].fill(False)
+            mark[second_owner, second] = True
+            mark[first_owner, first] = False  # distance-one vertices
+            mark[np.arange(width), vertices] = False  # the vertices themselves
+            counts_out[start:stop] = mark[:width].sum(axis=1)
+        return counts_out.tolist()
+
+    # ------------------------------------------------------------------ #
+    # Core peeling
+    # ------------------------------------------------------------------ #
+    def k_core_alive(self, k: int) -> bytearray:
+        n = self.num_vertices
+        degrees = np.diff(self.offsets).astype(np.int64)
+        alive = np.ones(n, dtype=bool)
+        sentinel = np.int64(1) << 60
+        while True:
+            doomed = np.flatnonzero(alive & (degrees < k))
+            if doomed.size == 0:
+                break
+            alive[doomed] = False
+            touched, _ = self._gather_rows(doomed)
+            if touched.size:
+                degrees -= np.bincount(touched, minlength=n)
+            degrees[~alive] = sentinel  # never requeue peeled vertices
+        return bytearray(alive.astype(np.uint8).tobytes())
+
+    # ------------------------------------------------------------------ #
+    # Subgraph extraction
+    # ------------------------------------------------------------------ #
+    def _check_in_range_np(self, vertices: np.ndarray, role: str) -> None:
+        if vertices.size and (
+            int(vertices.min()) < 0 or int(vertices.max()) >= self.num_vertices
+        ):
+            bad = vertices[(vertices < 0) | (vertices >= self.num_vertices)]
+            raise GraphError(f"{role} vertex {int(bad[0])} is out of range")
+
+    def rows_onto(
+        self, sources: Sequence[int], targets: Sequence[int]
+    ) -> List[int]:
+        sources_np = np.asarray(sources, dtype=np.int64).reshape(-1)
+        targets_np = np.asarray(targets, dtype=np.int64).reshape(-1)
+        self._check_in_range_np(targets_np, "target")
+        self._check_in_range_np(sources_np, "source")
+        position = self._scratch.position_array(self.num_vertices)
+        try:
+            position[targets_np] = np.arange(
+                targets_np.size, dtype=numpy_index_dtype()
+            )
+            width = targets_np.size
+            rows: List[int] = []
+            block = max(1, _BLOCK_CELLS // max(1, width))
+            for start in range(0, sources_np.size, block):
+                stop = min(sources_np.size, start + block)
+                batch = sources_np[start:stop]
+                flat, counts = self._gather_rows(batch)
+                locals_ = position[flat].astype(np.int64, copy=False)
+                owners = np.repeat(np.arange(stop - start, dtype=np.int64), counts)
+                keep = locals_ >= 0
+                matrix = np.zeros((stop - start, width), dtype=bool)
+                matrix[owners[keep], locals_[keep]] = True
+                packed = np.packbits(matrix, axis=1, bitorder="little")
+                rows.extend(
+                    int.from_bytes(packed[i].tobytes(), "little")
+                    for i in range(stop - start)
+                )
+        finally:
+            position[targets_np] = -1
+        return rows
+
+    def induced_adjacency(self, kept: Sequence[int]) -> List[List[int]]:
+        kept_np = np.asarray(kept, dtype=np.int64).reshape(-1)
+        self._check_in_range_np(kept_np, "kept")
+        if kept_np.size == 0:
+            return []
+        position = self._scratch.position_array(self.num_vertices)
+        try:
+            position[kept_np] = np.arange(kept_np.size, dtype=numpy_index_dtype())
+            flat, counts = self._gather_rows(kept_np)
+            locals_ = position[flat].astype(np.int64, copy=False)
+            owners = np.repeat(np.arange(kept_np.size, dtype=np.int64), counts)
+            keep = locals_ >= 0
+            owners = owners[keep]
+            locals_ = locals_[keep]
+            boundaries = np.searchsorted(owners, np.arange(1, kept_np.size))
+            return [chunk.tolist() for chunk in np.split(locals_, boundaries)]
+        finally:
+            position[kept_np] = -1
+
+    # ------------------------------------------------------------------ #
+    # Pickling
+    # ------------------------------------------------------------------ #
+    def __reduce__(self):
+        return (
+            self.__class__,
+            (np.array(self.offsets), np.array(self.neighbors)),
+        )
+
+
+def numpy_csr_from_graph(graph: Graph) -> NumpyCSRGraph:
+    """Module-level factory used by :mod:`repro.graph.csr`."""
+    return NumpyCSRGraph.from_graph(graph)

@@ -1,0 +1,194 @@
+"""Shared storage conventions of the CSR backends.
+
+Both CSR backends (:mod:`repro.graph.csr_backend_array` and
+:mod:`repro.graph.csr_backend_numpy`) and the shared-memory transport
+(:mod:`repro.graph.shared`) must agree byte-for-byte on how the flat
+adjacency arrays are laid out, or cross-backend handoffs silently corrupt
+vertex ids.  This module is the single source of truth:
+
+* **Typecodes are derived from measured item sizes**, never hardcoded.
+  ``array("l")`` is 8 bytes on LP64 Unix but 4 bytes on LLP64 Windows, so a
+  literal ``"l"`` for the offsets array would overflow at 2^31 directed
+  edges on one platform and not the other.  :func:`offset_typecode` picks
+  the first signed typecode with at least 8 bytes; :func:`neighbor_typecode`
+  the first with at least 4 (vertex ids are bounded by ``n``, not ``2m``).
+* The numpy backend and the shared-memory segments derive their dtypes /
+  struct formats from the *same* item sizes (:func:`offset_itemsize`,
+  :func:`index_itemsize`), so an array-backed writer and a numpy-backed
+  reader always agree on the layout.
+* :func:`normalize_adjacency` is the one construction-time validator: it
+  enforces the sorted/deduplicated row invariant ``has_edge`` relies on and
+  (unless the caller opts out) rejects self-loops, out-of-range ids and
+  asymmetric input that would silently produce a wrong ``num_edges``.
+"""
+
+from __future__ import annotations
+
+import threading
+from array import array
+from bisect import bisect_left
+from typing import Iterable, List, Sequence, Tuple
+
+from ..errors import GraphError
+
+#: Signed array typecodes from narrowest to widest (portable candidates).
+_SIGNED_TYPECODES = ("i", "l", "q")
+
+
+def _first_typecode(minimum_bytes: int) -> str:
+    for typecode in _SIGNED_TYPECODES:
+        if array(typecode).itemsize >= minimum_bytes:
+            return typecode
+    raise GraphError(  # pragma: no cover - no such platform
+        f"no signed array typecode with at least {minimum_bytes} bytes"
+    )
+
+
+def offset_typecode() -> str:
+    """Typecode of the row-offset array (holds values up to ``2m``; >= 8 bytes)."""
+    return _OFFSET_TYPECODE
+
+
+def neighbor_typecode() -> str:
+    """Typecode of vertex-id arrays (holds values up to ``n - 1``; >= 4 bytes)."""
+    return _NEIGHBOR_TYPECODE
+
+
+_OFFSET_TYPECODE = _first_typecode(8)
+_NEIGHBOR_TYPECODE = _first_typecode(4)
+
+
+def offset_itemsize() -> int:
+    """Bytes per offsets entry (identical across backends and platforms >= 8)."""
+    return array(_OFFSET_TYPECODE).itemsize
+
+
+def index_itemsize() -> int:
+    """Bytes per vertex-id entry (identical across backends)."""
+    return array(_NEIGHBOR_TYPECODE).itemsize
+
+
+def memoryview_format(itemsize: int) -> str:
+    """The single-character struct format for casting buffers of ``itemsize``.
+
+    Used by the shared-memory attach path to view a mapped segment as a flat
+    integer sequence without copying.  Derived from the same typecode table
+    as everything else, so a segment written from an ``array`` is readable
+    through a cast (or a numpy ``frombuffer``) bit-for-bit.
+    """
+    for typecode in _SIGNED_TYPECODES:
+        if array(typecode).itemsize == itemsize:
+            return typecode
+    raise GraphError(f"no signed integer format with itemsize {itemsize}")
+
+
+def numpy_offset_dtype():
+    """The numpy dtype matching :func:`offset_typecode` byte-for-byte."""
+    import numpy
+
+    return numpy.dtype(f"i{offset_itemsize()}")
+
+
+def numpy_index_dtype():
+    """The numpy dtype matching :func:`neighbor_typecode` byte-for-byte."""
+    import numpy
+
+    return numpy.dtype(f"i{index_itemsize()}")
+
+
+# --------------------------------------------------------------------------- #
+# Construction-time validation
+# --------------------------------------------------------------------------- #
+#: Directed edges sampled by the symmetry spot check (kept cheap on purpose).
+_SYMMETRY_SAMPLES = 128
+
+
+def normalize_adjacency(
+    adjacency: Sequence[Iterable[int]], validate: bool = True
+) -> Tuple[List[List[int]], int]:
+    """Return ``(sorted deduplicated rows, total directed edges)``.
+
+    With ``validate=True`` (the default for untrusted input) this
+
+    * rejects out-of-range vertex ids and self-loops,
+    * *enforces* the sorted/deduplicated row invariant binary-search
+      ``has_edge`` depends on (duplicate edges previously inflated
+      ``num_edges`` silently),
+    * rejects input whose directed-edge total is odd (guaranteed
+      asymmetric — the old code floor-divided it into a wrong edge count),
+    * spot-checks symmetry on a deterministic sample of directed edges.
+
+    ``validate=False`` is the trusted-caller fast path (e.g. rows already
+    produced from a validated :class:`~repro.graph.graph.Graph`): rows are
+    sorted but otherwise taken as given.
+    """
+    n = len(adjacency)
+    rows: List[List[int]] = []
+    total = 0
+    for vertex, row in enumerate(adjacency):
+        sorted_row = sorted(row)
+        if validate and sorted_row:
+            deduped: List[int] = []
+            previous = None
+            for neighbor in sorted_row:
+                if not 0 <= neighbor < n:
+                    raise GraphError(
+                        f"neighbour {neighbor} of vertex {vertex} is out of range"
+                    )
+                if neighbor == vertex:
+                    raise GraphError(f"self-loop at vertex {vertex}")
+                if neighbor != previous:
+                    deduped.append(neighbor)
+                previous = neighbor
+            sorted_row = deduped
+        rows.append(sorted_row)
+        total += len(sorted_row)
+    if validate:
+        if total % 2:
+            raise GraphError(
+                "adjacency is asymmetric: the directed edge count is odd "
+                f"({total}); every undirected edge must appear in both rows"
+            )
+        _symmetry_spot_check(rows, total)
+    return rows, total
+
+
+def _symmetry_spot_check(rows: Sequence[Sequence[int]], total: int) -> None:
+    """Check ``u in rows[v]`` for a deterministic sample of edges ``(v, u)``."""
+    if total == 0:
+        return
+    step = max(1, total // _SYMMETRY_SAMPLES)
+    cursor = 0
+    for vertex, row in enumerate(rows):
+        length = len(row)
+        if not length:
+            continue
+        # Global directed-edge indices [cursor, cursor + length) live in this
+        # row; probe the ones hitting the sampling grid.
+        first = ((cursor + step - 1) // step) * step
+        for index in range(first - cursor, length, step):
+            neighbor = row[index]
+            reverse = rows[neighbor]
+            position = bisect_left(reverse, vertex)
+            if position >= len(reverse) or reverse[position] != vertex:
+                raise GraphError(
+                    f"adjacency is asymmetric: edge ({vertex}, {neighbor}) has "
+                    f"no reverse entry"
+                )
+        cursor += length
+
+
+# --------------------------------------------------------------------------- #
+# Per-thread scratch buffers
+# --------------------------------------------------------------------------- #
+class Scratch(threading.local):
+    """Per-thread scratch buffer sized to the graph (lazily grown)."""
+
+    def __init__(self) -> None:
+        self.position: array = array(neighbor_typecode())
+
+    def position_array(self, size: int) -> array:
+        """Return the position array, every entry guaranteed to be ``-1``."""
+        if len(self.position) < size:
+            self.position = array(neighbor_typecode(), [-1]) * size
+        return self.position

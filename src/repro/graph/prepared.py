@@ -32,13 +32,17 @@ from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 from .core_decomposition import CoreDecomposition, set_backed_core_decomposition
-from .csr import CSRGraph
+from .csr import CSRGraph, build_csr, resolve_csr_backend
 from .graph import Graph
 
 _LOCK = threading.Lock()
 
 
-def prepare(graph: Graph, max_core_levels: Optional[int] = None) -> "PreparedGraph":
+def prepare(
+    graph: Graph,
+    max_core_levels: Optional[int] = None,
+    csr_backend: Optional[str] = None,
+) -> "PreparedGraph":
     """Return the (lazily filled) prepared index of ``graph``.
 
     Repeated calls with the same graph object return the same index; all
@@ -50,6 +54,10 @@ def prepare(graph: Graph, max_core_levels: Optional[int] = None) -> "PreparedGra
     subgraphs are kept, evicted LRU-first (see
     :meth:`PreparedGraph.set_core_budget`).  Passing ``None`` leaves an
     existing budget untouched.
+
+    ``csr_backend`` optionally pins the CSR kernel backend (``"array"`` or
+    ``"numpy"``; see :mod:`repro.graph.csr`).  ``None`` keeps the index's
+    current setting (initially the process default).
     """
     prepared = graph._prepared
     if prepared is None:
@@ -60,6 +68,8 @@ def prepare(graph: Graph, max_core_levels: Optional[int] = None) -> "PreparedGra
                 graph._prepared = prepared
     if max_core_levels is not None:
         prepared.set_core_budget(max_core_levels)
+    if csr_backend is not None:
+        prepared.set_csr_backend(csr_backend)
     return prepared
 
 
@@ -80,10 +90,18 @@ def invalidate(graph: Graph) -> None:
 class PreparedGraph:
     """Cached structural indexes of one graph (see module docstring)."""
 
-    def __init__(self, graph: Graph, max_core_levels: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        max_core_levels: Optional[int] = None,
+        csr_backend: Optional[str] = None,
+    ) -> None:
         self._graph = graph
         self._lock = threading.RLock()
         self._csr: Optional[CSRGraph] = None
+        self._csr_backend: Optional[str] = (
+            resolve_csr_backend(csr_backend) if csr_backend is not None else None
+        )
         self._decomposition: Optional[CoreDecomposition] = None
         self._position: Optional[List[int]] = None
         # LRU over core levels: entries move to the end on every hit so the
@@ -102,15 +120,36 @@ class PreparedGraph:
 
     @property
     def csr(self) -> CSRGraph:
-        """The CSR form of the graph (built on first use)."""
+        """The CSR form of the graph (built on first use).
+
+        The backend (``array``/``numpy``) is the index's configured one, or
+        the process default at build time — see
+        :func:`repro.graph.csr.default_csr_backend` and
+        :meth:`set_csr_backend`.
+        """
         csr = self._csr
         if csr is None:
             with self._lock:
                 csr = self._csr
                 if csr is None:
-                    csr = CSRGraph.from_graph(self._graph)
+                    csr = build_csr(self._graph, backend=self._csr_backend)
                     self._csr = csr
         return csr
+
+    def set_csr_backend(self, backend: Optional[str]) -> str:
+        """Pin the CSR backend for this index; returns the resolved name.
+
+        A CSR already built with a *different* backend is dropped and
+        rebuilt lazily (the flat arrays are identical either way, so no
+        other cached artefact is invalidated).  ``None``/``"auto"`` restores
+        the process default.
+        """
+        resolved = resolve_csr_backend(backend)
+        with self._lock:
+            self._csr_backend = None if backend in (None, "auto") else resolved
+            if self._csr is not None and self._csr.backend != resolved:
+                self._csr = None
+        return resolved
 
     @property
     def decomposition(self) -> CoreDecomposition:
@@ -235,12 +274,28 @@ class PreparedGraph:
 
         Ships the graph, the finished core decomposition and the position
         index; the CSR arrays and cached core subgraphs stay behind, keeping
-        the per-worker pickle payload minimal.
+        the per-worker pickle payload minimal.  When the platform supports
+        shared memory the executor prefers :meth:`share`, which ships only a
+        fixed-size descriptor per worker.
         """
         slim = PreparedGraph(self._graph)
         slim._decomposition = self.decomposition
         slim._position = self.position
         return slim
+
+    def share(self) -> "SharedPreparedGraph":
+        """Publish this index's flat arrays in one shared-memory segment.
+
+        Materialises the CSR form, decomposition and position index, then
+        copies them into a segment workers attach with
+        :func:`repro.graph.shared.attach_prepared` — per-worker transfer is
+        a fixed-size descriptor instead of an ``O(n + m)`` pickle.  The
+        caller owns the returned handle and must ``unlink()`` it (once) when
+        the worker pool is done; the executor does so in a ``finally``.
+        """
+        from .shared import SharedPreparedGraph
+
+        return SharedPreparedGraph(self)
 
     def _build_core(self, minimum_degree: int) -> Tuple[Graph, List[int]]:
         graph = self._graph
@@ -248,7 +303,7 @@ class PreparedGraph:
         if minimum_degree <= 0 or n == 0:
             return graph, list(range(n))
         csr = self.csr
-        alive = _csr_k_core_alive(csr, minimum_degree)
+        alive = csr.k_core_alive(minimum_degree)
         kept = [vertex for vertex in range(n) if alive[vertex]]
         if len(kept) == n:
             return graph, kept
@@ -263,6 +318,7 @@ class PreparedGraph:
         """Which artefacts have been materialised so far (for tests/logs)."""
         return {
             "csr": self._csr is not None,
+            "csr_backend": self._csr.backend if self._csr is not None else None,
             "decomposition": self._decomposition is not None,
             "core_levels": sorted(self._cores),
         }
@@ -273,6 +329,7 @@ class PreparedGraph:
         return {
             "graph": self._graph,
             "csr": self._csr,
+            "csr_backend": self._csr_backend,
             "decomposition": self._decomposition,
             "position": self._position,
             "cores": self._cores,
@@ -283,6 +340,7 @@ class PreparedGraph:
         self._graph = state["graph"]
         self._lock = threading.RLock()
         self._csr = state["csr"]
+        self._csr_backend = state.get("csr_backend")
         self._decomposition = state["decomposition"]
         self._position = state["position"]
         self._cores = OrderedDict(state["cores"])
@@ -298,28 +356,3 @@ class PreparedGraph:
             f"PreparedGraph(n={self._graph.num_vertices}, csr={info['csr']}, "
             f"decomposition={info['decomposition']}, cores={info['core_levels']})"
         )
-
-
-# --------------------------------------------------------------------------- #
-# CSR-backed peeling kernel
-# --------------------------------------------------------------------------- #
-def _csr_k_core_alive(csr: CSRGraph, k: int) -> bytearray:
-    """Alive flags of the ``k``-core (the unique maximal min-degree-k subgraph)."""
-    n = csr.num_vertices
-    offsets = csr.offsets
-    neighbors = csr.neighbors
-    degrees = csr.degrees()
-    alive = bytearray(b"\x01") * n
-    stack = [vertex for vertex in range(n) if degrees[vertex] < k]
-    for vertex in stack:
-        alive[vertex] = 0
-    while stack:
-        vertex = stack.pop()
-        for index in range(offsets[vertex], offsets[vertex + 1]):
-            other = neighbors[index]
-            if alive[other]:
-                degrees[other] -= 1
-                if degrees[other] < k:
-                    alive[other] = 0
-                    stack.append(other)
-    return alive

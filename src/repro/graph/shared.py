@@ -1,0 +1,322 @@
+"""Zero-copy prepared-graph transfer over ``multiprocessing.shared_memory``.
+
+The parallel executor ships one :class:`~repro.graph.prepared.PreparedGraph`
+to every worker process.  Pickling it costs ``O(n + m)`` serialisation *per
+worker* on spawn-based platforms and the same again to deserialise; with
+this module the driver publishes the prepared graph's flat integer arrays —
+CSR offsets/neighbors, degeneracy order, core numbers, position index —
+into **one** shared-memory segment, and each worker maps that single copy
+and rebuilds its Python-level views from the mapped pages.
+
+Lifecycle contract (the part that is easy to get wrong):
+
+* the **driver** owns the segment.  :meth:`SharedPreparedGraph.unlink`
+  removes it exactly once, is idempotent, and the executor calls it in a
+  ``finally`` block so a crashed pool cannot leak ``/dev/shm`` entries;
+* **workers** only attach (:func:`attach_prepared`); attached segments stay
+  mapped for the worker's lifetime and die with the process;
+* :func:`live_owned_segments` exposes the driver-side registry so tests can
+  prove that no segment outlives its pool, including on crash paths.
+
+Layout of a segment (all integers little-endian native, item sizes from
+:mod:`repro.graph.csr_types` — the same helper both CSR backends use, so an
+``array``-built segment is numpy-readable bit-for-bit and vice versa)::
+
+    [offsets   (n + 1) x offset_itemsize]
+    [neighbors (2m)    x index_itemsize]
+    [order     (n)     x index_itemsize]
+    [cores     (n)     x index_itemsize]
+    [position  (n)     x index_itemsize]
+"""
+
+from __future__ import annotations
+
+import threading
+from array import array
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List
+
+from ..errors import SharedMemoryError
+from .core_decomposition import CoreDecomposition
+from .csr_types import (
+    index_itemsize,
+    memoryview_format,
+    neighbor_typecode,
+    offset_itemsize,
+    offset_typecode,
+)
+from .graph import Graph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .prepared import PreparedGraph
+
+try:
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - stripped-down interpreters
+    _shared_memory = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class SharedGraphDescriptor:
+    """Picklable handle a worker needs to attach a published prepared graph.
+
+    A descriptor is a few hundred bytes regardless of graph size — that is
+    the whole point: per-worker transfer cost stays flat while the pickled
+    payload grows with ``n + m``.
+    """
+
+    name: str
+    num_vertices: int
+    num_neighbor_slots: int
+    degeneracy: int
+    offset_itemsize: int
+    index_itemsize: int
+    csr_backend: str
+    nbytes: int
+
+
+#: Driver-side registry of owned, not-yet-unlinked segment names (tests use
+#: this to prove pool shutdown and crash paths cannot leak segments).
+_OWNED: Dict[str, "SharedPreparedGraph"] = {}
+_OWNED_LOCK = threading.Lock()
+
+#: Worker-side keep-alive references: attached segments must stay mapped as
+#: long as the zero-copy views built over them are reachable.
+_ATTACHED: List[object] = []
+
+_AVAILABLE: Dict[str, bool] = {}
+
+
+def shared_memory_available() -> bool:
+    """Whether this platform can create and reattach shared-memory segments."""
+    cached = _AVAILABLE.get("ok")
+    if cached is not None:
+        return cached
+    ok = False
+    if _shared_memory is not None:
+        try:
+            probe = _shared_memory.SharedMemory(create=True, size=16)
+            name = probe.name
+            probe.buf[0] = 1
+            probe.close()
+            again = _shared_memory.SharedMemory(name=name)
+            again.close()
+            again.unlink()
+            ok = True
+        except (OSError, ValueError, FileNotFoundError):  # pragma: no cover
+            ok = False
+    _AVAILABLE["ok"] = ok
+    return ok
+
+
+def live_owned_segments() -> List[str]:
+    """Names of segments this process owns and has not unlinked yet."""
+    with _OWNED_LOCK:
+        return sorted(_OWNED)
+
+
+if _shared_memory is not None:
+
+    class _AttachedForProcessLifetime(_shared_memory.SharedMemory):
+        """An attached mapping that lives until the process dies (no-op destructor)."""
+
+        def __del__(self) -> None:  # noqa: D105 - intentional no-op
+            pass
+
+
+class SharedPreparedGraph:
+    """Driver-side owner of one published prepared graph (see module doc)."""
+
+    def __init__(self, prepared: "PreparedGraph") -> None:
+        if _shared_memory is None:  # pragma: no cover - stripped interpreters
+            raise SharedMemoryError("multiprocessing.shared_memory is unavailable")
+        csr = prepared.csr
+        decomposition = prepared.decomposition
+        position = prepared.position
+        n = csr.num_vertices
+        slots = len(csr.neighbors)
+
+        offsets_bytes = _int_bytes(csr.offsets, offset_typecode())
+        index_code = neighbor_typecode()
+        sections = [
+            offsets_bytes,
+            _int_bytes(csr.neighbors, index_code),
+            _int_bytes(decomposition.order, index_code),
+            _int_bytes(decomposition.core_numbers, index_code),
+            _int_bytes(position, index_code),
+        ]
+        total = sum(len(section) for section in sections)
+        try:
+            shm = _shared_memory.SharedMemory(create=True, size=max(1, total))
+        except OSError as exc:
+            raise SharedMemoryError(
+                f"cannot create a {total}-byte shared-memory segment: {exc}"
+            ) from exc
+        cursor = 0
+        for section in sections:
+            shm.buf[cursor : cursor + len(section)] = section
+            cursor += len(section)
+
+        self._shm = shm
+        self._lock = threading.Lock()
+        self._unlinked = False
+        self._descriptor = SharedGraphDescriptor(
+            name=shm.name,
+            num_vertices=n,
+            num_neighbor_slots=slots,
+            degeneracy=decomposition.degeneracy,
+            offset_itemsize=offset_itemsize(),
+            index_itemsize=index_itemsize(),
+            csr_backend=csr.backend,
+            nbytes=total,
+        )
+        with _OWNED_LOCK:
+            _OWNED[shm.name] = self
+
+    def descriptor(self) -> SharedGraphDescriptor:
+        """The picklable attach handle for worker initializers."""
+        return self._descriptor
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes published in the segment."""
+        return self._descriptor.nbytes
+
+    def unlink(self) -> bool:
+        """Remove the segment; idempotent, returns ``True`` on first call.
+
+        Safe to call from ``finally`` blocks and from multiple threads: the
+        segment is unlinked exactly once, and a segment the OS already
+        dropped (e.g. a crashed resource tracker got there first) is treated
+        as unlinked rather than an error.
+        """
+        with self._lock:
+            if self._unlinked:
+                return False
+            self._unlinked = True
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - tracker raced us
+            pass
+        finally:
+            with _OWNED_LOCK:
+                _OWNED.pop(self._descriptor.name, None)
+        return True
+
+    # Context-manager sugar: ``with prepared.share() as shared: ...``
+    def __enter__(self) -> "SharedPreparedGraph":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.unlink()
+
+    def __repr__(self) -> str:
+        state = "unlinked" if self._unlinked else "live"
+        return (
+            f"SharedPreparedGraph(name={self._descriptor.name!r}, "
+            f"n={self._descriptor.num_vertices}, bytes={self.nbytes}, {state})"
+        )
+
+
+def attach_prepared(descriptor: SharedGraphDescriptor) -> "PreparedGraph":
+    """Worker-side attach: map the segment and rebuild a prepared graph.
+
+    The CSR arrays are zero-copy views over the mapped pages (numpy
+    ``frombuffer`` or ``memoryview.cast`` depending on the publishing
+    backend); the adjacency sets, decomposition lists and position index
+    are materialised as ordinary Python objects because the mining hot path
+    consumes them as such.  The mapping stays open for the process
+    lifetime; only the owner unlinks.
+    """
+    from .prepared import PreparedGraph  # local: avoid import cycle
+
+    if _shared_memory is None:  # pragma: no cover - stripped interpreters
+        raise SharedMemoryError("multiprocessing.shared_memory is unavailable")
+    try:
+        shm = _shared_memory.SharedMemory(name=descriptor.name)
+    except FileNotFoundError as exc:
+        raise SharedMemoryError(
+            f"shared graph segment {descriptor.name!r} does not exist "
+            f"(was it unlinked before the worker attached?)"
+        ) from exc
+    # The zero-copy views handed out below must outlive any close() attempt:
+    # closing a mapping with exported buffers raises BufferError from
+    # SharedMemory.__del__ at interpreter shutdown.  An attached mapping is
+    # meant to live exactly as long as the process, so neuter the destructor
+    # and let the OS reclaim the mapping at exit; unlinking the *name*
+    # remains the owner's job.
+    shm.__class__ = _AttachedForProcessLifetime
+    _ATTACHED.append(shm)
+
+    n = descriptor.num_vertices
+    slots = descriptor.num_neighbor_slots
+    offsets_end = (n + 1) * descriptor.offset_itemsize
+    index_size = descriptor.index_itemsize
+    bounds = [
+        offsets_end,
+        offsets_end + slots * index_size,
+        offsets_end + (slots + n) * index_size,
+        offsets_end + (slots + 2 * n) * index_size,
+        offsets_end + (slots + 3 * n) * index_size,
+    ]
+    buf = memoryview(shm.buf)
+    offset_view = buf[: bounds[0]].cast(memoryview_format(descriptor.offset_itemsize))
+    index_format = memoryview_format(index_size)
+    neighbor_view = buf[bounds[0] : bounds[1]].cast(index_format)
+    order_view = buf[bounds[1] : bounds[2]].cast(index_format)
+    cores_view = buf[bounds[2] : bounds[3]].cast(index_format)
+    position_view = buf[bounds[3] : bounds[4]].cast(index_format)
+
+    csr = _attach_csr(descriptor, offset_view, neighbor_view)
+
+    # The mining path consumes frozenset adjacency; build it straight from
+    # the mapped rows (memoryview slices yield Python ints, which keeps the
+    # bitset arithmetic downstream on arbitrary-precision integers).
+    adjacency = [
+        frozenset(neighbor_view[offset_view[v] : offset_view[v + 1]])
+        for v in range(n)
+    ]
+    graph = Graph.__new__(Graph)
+    graph.__setstate__((adjacency, list(range(n))))
+
+    prepared = PreparedGraph(graph)
+    prepared._csr = csr
+    prepared._decomposition = CoreDecomposition(
+        order=list(order_view),
+        core_numbers=list(cores_view),
+        degeneracy=descriptor.degeneracy,
+    )
+    prepared._position = list(position_view)
+    graph._prepared = prepared
+    return prepared
+
+
+def _attach_csr(descriptor, offset_view, neighbor_view):
+    if descriptor.csr_backend == "numpy":
+        try:
+            from .csr_backend_numpy import NumpyCSRGraph
+
+            return NumpyCSRGraph.attach(offset_view, neighbor_view)
+        except ImportError:  # pragma: no cover - publisher had numpy, we don't
+            pass
+    from .csr_backend_array import CSRGraph
+
+    csr = CSRGraph.__new__(CSRGraph)
+    CSRGraph.__init__(csr, offset_view, neighbor_view)
+    return csr
+
+
+def _int_bytes(values, typecode: str) -> bytes:
+    """Flat little-endian bytes of an integer sequence at the given width."""
+    if isinstance(values, array) and values.typecode == typecode:
+        return values.tobytes()
+    try:
+        import numpy
+
+        if isinstance(values, numpy.ndarray):
+            width = array(typecode).itemsize
+            return values.astype(f"i{width}", copy=False).tobytes()
+    except ImportError:  # pragma: no cover - array path below covers it
+        pass
+    return array(typecode, values).tobytes()

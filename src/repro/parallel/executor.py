@@ -34,8 +34,14 @@ from ..core.enumerator import EnumerationResult
 from ..core.kplex import KPlex, validate_parameters
 from ..core.seeds import build_seed_context, iter_subtasks
 from ..core.stats import SearchStatistics
+from ..errors import SharedMemoryError
 from ..graph import Graph
 from ..graph.prepared import PreparedGraph, prepare
+from ..graph.shared import (
+    SharedGraphDescriptor,
+    attach_prepared,
+    shared_memory_available,
+)
 
 DEFAULT_TIMEOUT_SECONDS = 1e-4  # the paper's default τ_time = 0.1 ms
 
@@ -57,6 +63,14 @@ class ParallelConfig:
         matching the paper's stage construction.
     enumeration:
         The sequential algorithm configuration each worker runs.
+    shared_memory:
+        Worker-transfer mode for the process pool.  ``True`` publishes the
+        prepared graph's flat arrays in one shared-memory segment that every
+        worker maps (per-worker transfer is a fixed-size descriptor);
+        ``False`` pickles a slim prepared graph per worker; ``None`` (the
+        default) uses shared memory whenever the platform supports it.
+        Ignored by the thread pool, which shares the driver's objects
+        directly.
     """
 
     num_workers: int = field(default_factory=lambda: os.cpu_count() or 1)
@@ -64,6 +78,7 @@ class ParallelConfig:
     use_processes: bool = True
     stage_size: Optional[int] = None
     enumeration: EnumerationConfig = field(default_factory=EnumerationConfig.ours)
+    shared_memory: Optional[bool] = None
 
 
 # --------------------------------------------------------------------------- #
@@ -101,6 +116,23 @@ def _initialise_worker(
 ) -> None:
     """Process-pool initializer: store the state once per worker process."""
     _PROCESS_STATE[0] = _WorkerState(prepared, k, q, config, timeout)
+
+
+def _initialise_worker_shared(
+    descriptor: SharedGraphDescriptor,
+    k: int,
+    q: int,
+    config: EnumerationConfig,
+    timeout: Optional[float],
+) -> None:
+    """Shared-memory initializer: attach the driver's published segment.
+
+    The descriptor is a fixed-size handle; the flat graph arrays are mapped
+    from the one segment the driver created instead of being unpickled per
+    worker.  The mapping stays open for the worker's lifetime — only the
+    driver unlinks.
+    """
+    _PROCESS_STATE[0] = _WorkerState(attach_prepared(descriptor), k, q, config, timeout)
 
 
 def _mine_seed(seed_vertex: int) -> Tuple[List[Tuple[int, ...]], Dict[str, float]]:
@@ -190,38 +222,71 @@ def _enumerate_parallel(
         prepared_core.position
         merged_stats.preprocess_seconds = time.perf_counter() - started
         stage = parallel.stage_size or parallel.num_workers
-        executor_class = ProcessPoolExecutor if parallel.use_processes else ThreadPoolExecutor
-        init_args = (
-            prepared_core.for_worker_transfer(),
-            k,
-            q,
-            parallel.enumeration,
-            parallel.timeout_seconds,
-        )
+        shared_payload = None
 
-        if parallel.use_processes:
-            pool = executor_class(
-                max_workers=parallel.num_workers,
-                initializer=_initialise_worker,
-                initargs=init_args,
-            )
-            mine = _mine_seed
-        else:
-            # Bind this run's state directly instead of going through the
-            # per-process slot, so concurrent thread-mode runs are isolated.
-            mine = partial(_mine_seed_with_state, _WorkerState(*init_args))
-            pool = executor_class(max_workers=parallel.num_workers)
-
+        # The segment must be unlinked exactly once on every exit path —
+        # normal completion, a raising worker, a crashed pool, even a failing
+        # pool constructor — or it leaks in /dev/shm until reboot.
         try:
-            for start in range(0, len(seeds), stage):
-                block = seeds[start : start + stage]
-                for seed_results, stats_dict in pool.map(mine, block):
-                    merged_stats.merge(_stats_from_dict(stats_dict))
-                    for core_vertices in seed_results:
-                        original = [core_map[v] for v in core_vertices]
-                        kplexes.append(KPlex.from_vertices(graph, original, k))
+            if parallel.use_processes:
+                use_shared = parallel.shared_memory
+                if use_shared is None:
+                    use_shared = shared_memory_available()
+                if use_shared:
+                    try:
+                        shared_payload = prepared_core.share()
+                    except SharedMemoryError:
+                        shared_payload = None  # fall back to pickled transfer
+                if shared_payload is not None:
+                    initializer = _initialise_worker_shared
+                    init_args = (
+                        shared_payload.descriptor(),
+                        k,
+                        q,
+                        parallel.enumeration,
+                        parallel.timeout_seconds,
+                    )
+                else:
+                    initializer = _initialise_worker
+                    init_args = (
+                        prepared_core.for_worker_transfer(),
+                        k,
+                        q,
+                        parallel.enumeration,
+                        parallel.timeout_seconds,
+                    )
+                pool = ProcessPoolExecutor(
+                    max_workers=parallel.num_workers,
+                    initializer=initializer,
+                    initargs=init_args,
+                )
+                mine = _mine_seed
+            else:
+                # Bind this run's state directly instead of going through the
+                # per-process slot, so concurrent thread-mode runs are isolated.
+                init_args = (
+                    prepared_core.for_worker_transfer(),
+                    k,
+                    q,
+                    parallel.enumeration,
+                    parallel.timeout_seconds,
+                )
+                mine = partial(_mine_seed_with_state, _WorkerState(*init_args))
+                pool = ThreadPoolExecutor(max_workers=parallel.num_workers)
+
+            try:
+                for start in range(0, len(seeds), stage):
+                    block = seeds[start : start + stage]
+                    for seed_results, stats_dict in pool.map(mine, block):
+                        merged_stats.merge(_stats_from_dict(stats_dict))
+                        for core_vertices in seed_results:
+                            original = [core_map[v] for v in core_vertices]
+                            kplexes.append(KPlex.from_vertices(graph, original, k))
+            finally:
+                pool.shutdown()
         finally:
-            pool.shutdown()
+            if shared_payload is not None:
+                shared_payload.unlink()
 
     kplexes.sort(key=lambda plex: (plex.size, plex.vertices))
     merged_stats.elapsed_seconds = time.perf_counter() - started

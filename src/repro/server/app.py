@@ -83,6 +83,12 @@ class KPlexHTTPServer(ThreadingHTTPServer):
         self._logger = logger
         self._stop_snapshots = threading.Event()
         self._snapshot_thread: Optional[threading.Thread] = None
+        # Serialises every snapshot writer (periodic thread, POST
+        # /v1/snapshot handler threads, the final drain snapshot).  Each
+        # writer already stages into its own unique temp file, but without
+        # ordering a slow periodic write could publish *after* — and thereby
+        # clobber — the fresher final snapshot of a concurrent drain.
+        self._snapshot_lock = threading.Lock()
         self._drain_lock = threading.Lock()
         self._drained = False
         self._drain_done = threading.Event()
@@ -118,10 +124,17 @@ class KPlexHTTPServer(ThreadingHTTPServer):
                 self.log(f"periodic snapshot failed: {exc}")
 
     def write_snapshot(self) -> Optional[dict]:
-        """Write a snapshot now; returns the document (``None`` if disabled)."""
+        """Write a snapshot now; returns the document (``None`` if disabled).
+
+        Thread-safe: concurrent writers (periodic thread, handler threads,
+        drain) are serialised, so the published file is always one writer's
+        complete document and a later call can never be overwritten by an
+        earlier, staler one.
+        """
         if not self.snapshot_path:
             return None
-        return save_snapshot(self.service, self.snapshot_path)
+        with self._snapshot_lock:
+            return save_snapshot(self.service, self.snapshot_path)
 
     def warm_start(
         self, snapshot: Optional[Union[str, dict]] = None
@@ -156,6 +169,11 @@ class KPlexHTTPServer(ThreadingHTTPServer):
         self.shutdown()  # stop serve_forever and new accepts
         if close_service:
             self.service.close(drain=True)
+        # Retire the periodic writer before taking the final snapshot: a
+        # write already in flight finishes (under the snapshot lock), and
+        # nothing can publish a stale document after the final one below.
+        if self._snapshot_thread is not None:
+            self._snapshot_thread.join()
         try:
             self.write_snapshot()
         except SnapshotError as exc:  # pragma: no cover - disk trouble

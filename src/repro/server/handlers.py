@@ -260,7 +260,11 @@ class KPlexRequestHandler(BaseHTTPRequestHandler):
                 "BadRequest",
                 "no snapshot path: configure --snapshot or pass {'path': ...}",
             )
-        snapshot = save_snapshot(service, path)
+        # Serialise with the server's other snapshot writers (periodic
+        # thread, drain): an endpoint write still in flight must not publish
+        # after — and thereby clobber — a fresher drain-time snapshot.
+        with self.server._snapshot_lock:  # type: ignore[attr-defined]
+            snapshot = save_snapshot(service, path)
         self._send_json(
             200,
             {

@@ -99,12 +99,21 @@ class GraphCatalog:
         Optional per-graph cap on retained ``core(level)`` subgraphs — the
         ROADMAP's *prepared-index memory budget* — applied to every graph on
         registration (see :meth:`PreparedGraph.set_core_budget`).
+    csr_backend:
+        CSR kernel backend (``"array"``/``"numpy"``/``"auto"``) pinned on
+        every registered graph's prepared index; ``None`` keeps the process
+        default (numpy when importable).
     """
 
-    def __init__(self, prepared_core_budget: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        prepared_core_budget: Optional[int] = None,
+        csr_backend: Optional[str] = None,
+    ) -> None:
         self._lock = threading.RLock()
         self._entries: Dict[str, CatalogEntry] = {}
         self.prepared_core_budget = prepared_core_budget
+        self.csr_backend = csr_backend
 
     # ------------------------------------------------------------------ #
     # Registration and resolution
@@ -186,7 +195,9 @@ class GraphCatalog:
         self, graph: Graph, prewarm: Optional[Sequence[Tuple[int, int]]]
     ) -> Tuple[int, ...]:
         prepared: PreparedGraph = prepare(
-            graph, max_core_levels=self.prepared_core_budget
+            graph,
+            max_core_levels=self.prepared_core_budget,
+            csr_backend=self.csr_backend,
         )
         prepared.csr  # every solver's first step runs on the CSR form
         levels: List[int] = []

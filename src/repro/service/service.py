@@ -24,6 +24,7 @@ are everywhere else in the repository).
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import deque
@@ -74,6 +75,10 @@ class ServiceConfig:
     prepared_core_budget:
         Per-graph cap on retained ``core(level)`` subgraphs, applied through
         the catalog on registration (the prepared-index memory budget).
+    csr_backend:
+        CSR kernel backend (``"array"``/``"numpy"``/``"auto"``) pinned on
+        every catalog graph's prepared index; ``None``/``"auto"`` keeps the
+        process default (numpy when importable).
     latency_window:
         Number of most recent request latencies kept for the p50/p95
         estimates.
@@ -87,9 +92,14 @@ class ServiceConfig:
     seed_cache_entries: Optional[int] = 64
     seed_cache_bytes: Optional[int] = 32 * 1024 * 1024
     prepared_core_budget: Optional[int] = None
+    csr_backend: Optional[str] = None
     latency_window: int = 2048
 
     def __post_init__(self) -> None:
+        if self.csr_backend is not None:
+            from ..graph.csr import resolve_csr_backend
+
+            resolve_csr_backend(self.csr_backend)  # validates name/availability
         if self.max_workers < 1:
             raise ParameterError(f"max_workers must be >= 1, got {self.max_workers}")
         if self.max_queue_depth < 0:
@@ -108,9 +118,17 @@ class ServiceConfig:
 
 
 def _percentile(sorted_samples: Sequence[float], fraction: float) -> float:
-    """Nearest-rank percentile of an already sorted, non-empty sequence."""
-    rank = max(0, min(len(sorted_samples) - 1, int(fraction * len(sorted_samples))))
-    return sorted_samples[rank]
+    """Nearest-rank percentile of an already sorted, non-empty sequence.
+
+    Canonical nearest-rank: the smallest sample with at least
+    ``fraction * n`` samples at or below it, i.e. 1-indexed rank
+    ``ceil(fraction * n)``.  The previous ``int(fraction * n)`` rounded the
+    rank *up by one* exactly on the boundary cases (p50 of 1..100 answered
+    51, p95 answered 96).
+    """
+    rank = math.ceil(fraction * len(sorted_samples))
+    index = min(len(sorted_samples) - 1, max(0, rank - 1))
+    return sorted_samples[index]
 
 
 def _prometheus_name(parts: Sequence[str]) -> str:
@@ -277,7 +295,8 @@ class KPlexService:
     ) -> None:
         self.config = config or ServiceConfig()
         self.catalog = catalog or GraphCatalog(
-            prepared_core_budget=self.config.prepared_core_budget
+            prepared_core_budget=self.config.prepared_core_budget,
+            csr_backend=self.config.csr_backend,
         )
         self._engine = engine or KPlexEngine()
         self._result_cache: Optional[ResultCache] = (

@@ -1,0 +1,300 @@
+"""Cross-backend CSR equivalence and construction-validation tests.
+
+The numpy backend is a pure performance substrate: every operation must be
+bit-identical to the ``array`` reference backend, which in turn must be
+bit-identical to the set-backed :class:`Graph`.  These tests sweep both
+backends over randomized generator graphs (including the degenerate shapes:
+empty, isolated vertices, complete, star) and assert full equivalence, plus
+the integer-width/validation hardening of the shared storage conventions.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.api import EnumerationRequest, KPlexEngine
+from repro.errors import GraphError
+from repro.graph import Graph, invalidate
+from repro.graph.csr import (
+    CSRGraph,
+    available_csr_backends,
+    build_csr,
+    csr_class,
+    default_csr_backend,
+    index_itemsize,
+    neighbor_typecode,
+    offset_itemsize,
+    offset_typecode,
+    resolve_csr_backend,
+    set_default_csr_backend,
+)
+from repro.graph.generators import erdos_renyi, relaxed_caveman, star_graph
+
+numpy = pytest.importorskip("numpy")
+from repro.graph.csr_backend_numpy import NumpyCSRGraph  # noqa: E402
+
+
+@pytest.fixture(autouse=True)
+def _reset_default_backend():
+    yield
+    set_default_csr_backend(None)
+
+
+def backend_pairs():
+    """(array, numpy) CSR builds of a deterministic graph mix."""
+    rng = random.Random(20260731)
+    graphs = [
+        Graph.empty(0),
+        Graph.empty(6),
+        Graph.complete(7),
+        star_graph(9),
+        relaxed_caveman(4, 5, 0.3, seed=5),
+    ]
+    for trial in range(10):
+        graphs.append(erdos_renyi(rng.randint(1, 48), rng.random() * 0.35, seed=trial))
+    return [(g, CSRGraph.from_graph(g), NumpyCSRGraph.from_graph(g)) for g in graphs]
+
+
+# --------------------------------------------------------------------------- #
+# Storage conventions (the integer-width portability satellite)
+# --------------------------------------------------------------------------- #
+def test_typecodes_are_derived_from_itemsize_not_hardcoded():
+    from array import array
+
+    assert array(offset_typecode()).itemsize >= 8, (
+        "offsets must hold 2m directed edges; a 32-bit C long (LLP64 'l') "
+        "would silently overflow"
+    )
+    assert array(neighbor_typecode()).itemsize >= 4
+    assert offset_itemsize() == array(offset_typecode()).itemsize
+    assert index_itemsize() == array(neighbor_typecode()).itemsize
+
+
+def test_numpy_dtypes_match_array_typecodes_bytewise():
+    from repro.graph.csr_types import numpy_index_dtype, numpy_offset_dtype
+
+    assert numpy_offset_dtype().itemsize == offset_itemsize()
+    assert numpy_index_dtype().itemsize == index_itemsize()
+    graph = erdos_renyi(30, 0.2, seed=3)
+    a = CSRGraph.from_graph(graph)
+    b = NumpyCSRGraph.from_graph(graph)
+    # The flat buffers are interchangeable byte-for-byte.
+    assert a.offsets.tobytes() == b.offsets.tobytes()
+    assert a.neighbors.tobytes() == b.neighbors.tobytes()
+
+
+# --------------------------------------------------------------------------- #
+# Backend selection
+# --------------------------------------------------------------------------- #
+def test_backend_registry_and_resolution():
+    assert "array" in available_csr_backends()
+    assert "numpy" in available_csr_backends()
+    assert resolve_csr_backend("array") == "array"
+    assert resolve_csr_backend(None) == default_csr_backend()
+    assert csr_class("array") is CSRGraph
+    assert csr_class("numpy") is NumpyCSRGraph
+    with pytest.raises(GraphError):
+        resolve_csr_backend("cuda")
+
+
+def test_set_default_backend_controls_build(monkeypatch):
+    graph = erdos_renyi(10, 0.3, seed=1)
+    set_default_csr_backend("array")
+    assert build_csr(graph).backend == "array"
+    set_default_csr_backend("numpy")
+    assert build_csr(graph).backend == "numpy"
+    set_default_csr_backend("auto")
+    monkeypatch.setenv("REPRO_CSR_BACKEND", "array")
+    assert default_csr_backend() == "array"
+    assert build_csr(graph).backend == "array"
+
+
+def test_prepared_index_backend_knob_rebuilds_csr():
+    from repro.graph.prepared import prepare
+
+    graph = erdos_renyi(25, 0.25, seed=9)
+    invalidate(graph)
+    prepared = prepare(graph, csr_backend="array")
+    assert prepared.csr.backend == "array"
+    prepared.set_csr_backend("numpy")
+    assert prepared.cache_info()["csr"] is False  # dropped, rebuilt lazily
+    assert prepared.csr.backend == "numpy"
+    # Same backend again: no rebuild.
+    built = prepared.csr
+    prepared.set_csr_backend("numpy")
+    assert prepared.csr is built
+
+
+def test_engine_prepare_accepts_backend():
+    graph = relaxed_caveman(3, 5, 0.2, seed=2)
+    invalidate(graph)
+    prepared = KPlexEngine.prepare(graph, k=2, q=4, csr_backend="array")
+    assert prepared.cache_info()["csr_backend"] == "array"
+
+
+# --------------------------------------------------------------------------- #
+# Full kernel equivalence (the property suite CI runs with and without numpy)
+# --------------------------------------------------------------------------- #
+def test_backends_agree_on_adjacency_and_traversals():
+    rng = random.Random(7)
+    for graph, a, b in backend_pairs():
+        assert a.degrees() == b.degrees() == graph.degrees()
+        assert a.two_hop_counts() == b.two_hop_counts()
+        for v in graph.vertices():
+            assert a.neighbors_list(v) == b.neighbors_list(v)
+            assert a.two_hop_neighbors(v) == b.two_hop_neighbors(v)
+            assert a.neighborhood_within_two_hops(v) == (
+                b.neighborhood_within_two_hops(v)
+            )
+        for _ in range(30):
+            u = rng.randrange(max(1, graph.num_vertices))
+            v = rng.randrange(max(1, graph.num_vertices))
+            if graph.num_vertices:
+                assert a.has_edge(u, v) == b.has_edge(u, v) == graph.has_edge(u, v)
+
+
+def test_backends_agree_on_core_peeling():
+    for graph, a, b in backend_pairs():
+        for level in range(0, 7):
+            assert a.k_core_alive(level) == b.k_core_alive(level)
+
+
+def test_backends_agree_on_projections():
+    rng = random.Random(13)
+    for graph, a, b in backend_pairs():
+        if graph.num_vertices == 0:
+            assert a.induced_adjacency([]) == b.induced_adjacency([]) == []
+            continue
+        kept = sorted(
+            rng.sample(range(graph.num_vertices), rng.randint(1, graph.num_vertices))
+        )
+        assert a.induced_adjacency(kept) == b.induced_adjacency(kept)
+        assert a.induced_rows(kept) == b.induced_rows(kept)
+        sources = rng.sample(range(graph.num_vertices), min(4, graph.num_vertices))
+        assert a.rows_onto(sources, kept) == b.rows_onto(sources, kept)
+
+
+def test_numpy_masks_are_python_ints():
+    # np.int64 bitsets overflow at 64 vertices; every mask and vertex id the
+    # numpy backend returns must be an arbitrary-precision Python int.
+    graph = erdos_renyi(70, 0.5, seed=4)
+    b = NumpyCSRGraph.from_graph(graph)
+    kept = list(range(70))
+    rows = b.induced_rows(kept)
+    assert all(type(row) is int for row in rows)
+    assert max(rows).bit_length() <= 70 and max(rows).bit_length() > 60
+    assert all(type(v) is int for v in b.two_hop_neighbors(0))
+    assert all(type(v) is int for row in b.induced_adjacency(kept) for v in row)
+
+
+def test_numpy_sweep_fallback_paths_match(monkeypatch):
+    # Force (a) the chunked scatter fallback used beyond the packed-matrix
+    # budget and (b) tiny gather blocks inside the packed kernel, and check
+    # both against the default path and the array reference.
+    from repro.graph import csr_backend_numpy
+
+    graph = erdos_renyi(60, 0.15, seed=8)
+    a = CSRGraph.from_graph(graph)
+    b = NumpyCSRGraph.from_graph(graph)
+    packed = b.two_hop_counts()
+    monkeypatch.setattr(csr_backend_numpy, "_PACKED_SWEEP_LIMIT", 1)
+    chunked = b.two_hop_counts()
+    monkeypatch.setattr(csr_backend_numpy, "_PACKED_SWEEP_LIMIT", 16384)
+    monkeypatch.setattr(csr_backend_numpy, "_GATHER_BYTES", 16)
+    blocked = b.two_hop_counts()
+    assert packed == chunked == blocked == a.two_hop_counts()
+
+
+def test_numpy_projection_rejects_out_of_range_like_array():
+    graph = erdos_renyi(30, 0.2, seed=6)
+    b = NumpyCSRGraph.from_graph(graph)
+    expected = b.rows_onto([0], [1, 2])
+    with pytest.raises(GraphError):
+        b.rows_onto([0], [5, 999])
+    with pytest.raises(GraphError):
+        b.rows_onto([0], [5, -7])
+    with pytest.raises(GraphError):
+        b.induced_adjacency([0, 999])
+    # The shared scratch array is untouched by rejected calls.
+    assert b.rows_onto([0], [1, 2]) == expected
+
+
+def test_numpy_csr_pickle_roundtrip():
+    graph = erdos_renyi(40, 0.2, seed=11)
+    b = NumpyCSRGraph.from_graph(graph)
+    restored = pickle.loads(pickle.dumps(b))
+    assert type(restored) is NumpyCSRGraph
+    assert restored.neighbors.tolist() == b.neighbors.tolist()
+    assert restored.offsets.tolist() == b.offsets.tolist()
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end: enumeration is backend-independent
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("solver", ["ours", "basic", "fp", "listplex"])
+def test_enumeration_bit_identical_across_backends(solver):
+    engine = KPlexEngine()
+    for seed in (3, 11):
+        results = {}
+        for backend in ("array", "numpy"):
+            graph = relaxed_caveman(5, 5, 0.3, seed=seed)
+            KPlexEngine.prepare(graph, csr_backend=backend)
+            response = engine.solve(
+                EnumerationRequest(graph=graph, k=2, q=4, solver=solver)
+            )
+            results[backend] = response.vertex_sets()
+        assert results["array"] == results["numpy"]
+
+
+def test_dataset_enumeration_bit_identical_across_backends():
+    from repro.datasets import load_dataset
+
+    engine = KPlexEngine()
+    for dataset, k, q in (("wiki-vote", 2, 10), ("jazz", 2, 12)):
+        results = {}
+        for backend in ("array", "numpy"):
+            graph = load_dataset(dataset)
+            KPlexEngine.prepare(graph, csr_backend=backend)
+            response = engine.solve(EnumerationRequest(graph=graph, k=k, q=q))
+            results[backend] = response.vertex_sets()
+        assert results["array"] == results["numpy"], dataset
+
+
+# --------------------------------------------------------------------------- #
+# from_adjacency validation (the "validated nowhere" satellite)
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("cls_name", ["array", "numpy"])
+def test_from_adjacency_rejects_malformed_input(cls_name):
+    cls = csr_class(cls_name)
+    with pytest.raises(GraphError, match="asymmetric"):
+        cls.from_adjacency([[1], []])  # odd directed-edge total
+    with pytest.raises(GraphError, match="asymmetric"):
+        cls.from_adjacency([[1], [2], []])  # even total, no reverse edges
+    with pytest.raises(GraphError, match="self-loop"):
+        cls.from_adjacency([[0, 1], [0]])
+    with pytest.raises(GraphError, match="out of range"):
+        cls.from_adjacency([[9], []])
+    with pytest.raises(GraphError, match="out of range"):
+        cls.from_adjacency([[-1], []])
+
+
+@pytest.mark.parametrize("cls_name", ["array", "numpy"])
+def test_from_adjacency_enforces_sorted_dedup_invariant(cls_name):
+    cls = csr_class(cls_name)
+    # Duplicate edges previously inflated num_edges silently (odd totals
+    # even floor-divided into a wrong count); unsorted rows silently broke
+    # binary-search has_edge.
+    csr = cls.from_adjacency([[2, 1, 1, 2], [0, 2], [1, 0, 0]])
+    assert csr.num_edges == 3
+    assert csr.neighbors_list(0) == [1, 2]
+    assert csr.neighbors_list(2) == [0, 1]
+    assert csr.has_edge(0, 2) and csr.has_edge(2, 0)
+
+
+def test_from_adjacency_opt_out_for_trusted_callers():
+    # validate=False trusts the caller: rows are sorted, nothing else runs.
+    csr = CSRGraph.from_adjacency([[1, 1], [0, 0]], validate=False)
+    assert csr.num_edges == 2  # the historical (wrong) duplicate count
+    regression = CSRGraph.from_adjacency([[1, 1], [0, 0]])
+    assert regression.num_edges == 1

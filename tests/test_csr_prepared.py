@@ -181,6 +181,7 @@ def test_prepared_graph_cache_info_tracks_materialisation():
     prepared = prepare(graph)
     assert prepared.cache_info() == {
         "csr": False,
+        "csr_backend": None,
         "decomposition": False,
         "core_levels": [],
     }
@@ -188,6 +189,7 @@ def test_prepared_graph_cache_info_tracks_materialisation():
     prepared.core(2)
     info = prepared.cache_info()
     assert info["csr"] and info["decomposition"] and info["core_levels"] == [2]
+    assert info["csr_backend"] in ("array", "numpy")
 
 
 def test_prepared_graph_pickle_roundtrip_keeps_artifacts():
@@ -201,7 +203,9 @@ def test_prepared_graph_pickle_roundtrip_keeps_artifacts():
     assert restored.graph._prepared is restored
     assert restored.cache_info() == prepared.cache_info()
     assert restored.decomposition.order == prepared.decomposition.order
-    assert restored.csr.neighbors == prepared.csr.neighbors
+    # tolist() keeps the comparison backend-agnostic (ndarray == ndarray is
+    # elementwise, not a scalar truth value).
+    assert restored.csr.neighbors.tolist() == prepared.csr.neighbors.tolist()
 
 
 def test_graph_pickle_does_not_ship_prepared_index():

@@ -537,3 +537,65 @@ def test_drain_writes_final_snapshot(tmp_path):
     server.drain()
     document = load_snapshot(path)
     assert len(document["hot_requests"]) == 1
+
+
+def test_concurrent_snapshots_and_drain_never_tear_the_file(tmp_path):
+    """Hammer write_snapshot from many threads while a drain runs.
+
+    Every writer stages into its own temp file and publication is
+    serialised, so the published snapshot must always be one writer's
+    complete document, the drain's final snapshot must be the last write,
+    and no temp files may be left behind.
+    """
+    path = tmp_path / "snap.json"
+    service = make_service()
+    server = start_server(
+        service, port=0, snapshot_path=str(path), snapshot_interval=0.005
+    )
+    client = ServiceClient(server.url)
+    client.wait_ready()
+    client.register("toy", edges=EDGES)
+    client.solve("toy", k=2, q=3)
+
+    stop = threading.Event()
+    failures = []
+
+    def hammer():
+        while not stop.is_set():
+            try:
+                server.write_snapshot()
+            except Exception as exc:  # noqa: BLE001 - recorded for the assert
+                failures.append(exc)
+
+    def hammer_endpoint():
+        # The POST /v1/snapshot handler must take the same writer lock;
+        # connection errors once the drain closes the listener are expected.
+        while not stop.is_set():
+            try:
+                client.snapshot()
+            except Exception as exc:  # noqa: BLE001 - recorded unless draining
+                if stop.is_set() or server.draining:
+                    return
+                failures.append(exc)
+                return
+
+    threads = [threading.Thread(target=hammer) for _ in range(3)]
+    threads.append(threading.Thread(target=hammer_endpoint))
+    for thread in threads:
+        thread.start()
+    time.sleep(0.05)  # let periodic + hammer writers overlap
+    server.drain()
+    stop.set()
+    for thread in threads:
+        thread.join()
+
+    assert not failures
+    # The periodic thread retired before the final snapshot was written.
+    assert server._snapshot_thread is not None
+    assert not server._snapshot_thread.is_alive()
+    document = json.loads(path.read_text(encoding="utf-8"))
+    assert document["format"] == SNAPSHOT_FORMAT
+    assert document["version"] == SNAPSHOT_VERSION
+    assert len(document["hot_requests"]) == 1
+    leftovers = [p for p in path.parent.iterdir() if p.name != path.name]
+    assert leftovers == [], f"temp files left behind: {leftovers}"

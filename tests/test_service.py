@@ -675,3 +675,70 @@ def test_sizing_estimates_are_positive_and_monotone():
         < estimate_response_bytes(response_small)
         < estimate_response_bytes(response_large)
     )
+
+
+# --------------------------------------------------------------------------- #
+# Cache accounting under overwrite/evict churn (regression coverage)
+# --------------------------------------------------------------------------- #
+def test_lru_put_overwrite_promotes_to_mru_and_keeps_bytes_exact():
+    lru = ByteBudgetLRU(max_entries=3)
+    lru.put("a", "A1", 100)
+    lru.put("b", "B1", 10)
+    lru.put("c", "C1", 10)
+    # Overwrite "a": must replace the byte estimate, not accumulate it ...
+    lru.put("a", "A2", 40)
+    assert lru.current_bytes == 60
+    # ... and must promote "a" to most-recently-used, so the next eviction
+    # takes "b" (the oldest untouched entry), not "a".
+    lru.put("d", "D1", 10)
+    assert lru.get("a") == "A2"
+    assert lru.get("b") is None
+    assert lru.get("c") == "C1" and lru.get("d") == "D1"
+    assert lru.current_bytes == 60
+
+
+def test_lru_bytes_stay_exact_under_overwrite_evict_cycles():
+    lru = ByteBudgetLRU(max_bytes=100)
+    for cycle in range(50):
+        key = f"k{cycle % 7}"
+        lru.put(key, cycle, 10 + (cycle % 3) * 5)
+        stats = lru.stats()
+        # The tracked total must always equal the sum over live entries.
+        live_total = sum(
+            nbytes for _value, nbytes in lru._entries.values()
+        )
+        assert stats["current_bytes"] == live_total
+        assert stats["current_bytes"] <= 100
+    lru.clear()
+    assert lru.current_bytes == 0
+
+
+def test_lru_overwrite_that_pushes_over_budget_evicts_lru_first():
+    lru = ByteBudgetLRU(max_bytes=100)
+    lru.put("a", "A", 40)
+    lru.put("b", "B", 40)
+    # Growing "a" to 80 bytes busts the budget; "b" (now LRU) must go and
+    # the accounting must land exactly on the survivor's estimate.
+    assert lru.put("a", "A-big", 80) is True
+    assert lru.get("b") is None
+    assert lru.get("a") == "A-big"
+    assert lru.current_bytes == 80
+
+
+# --------------------------------------------------------------------------- #
+# Nearest-rank percentile boundaries (regression: p50 of 1..100 must be 50)
+# --------------------------------------------------------------------------- #
+def test_percentile_nearest_rank_boundaries():
+    from repro.service.service import _percentile
+
+    window = [float(value) for value in range(1, 101)]
+    assert _percentile(window, 0.50) == 50.0
+    assert _percentile(window, 0.95) == 95.0
+    assert _percentile(window, 0.0) == 1.0
+    assert _percentile(window, 1.0) == 100.0
+    assert _percentile([7.5], 0.50) == 7.5
+    assert _percentile([7.5], 0.95) == 7.5
+    # Ranks between grid points round up to the next sample (nearest-rank).
+    assert _percentile([1.0, 2.0, 3.0], 0.50) == 2.0
+    assert _percentile([1.0, 2.0, 3.0], 0.34) == 2.0
+    assert _percentile([1.0, 2.0, 3.0], 0.33) == 1.0

@@ -1,0 +1,203 @@
+"""Shared-memory prepared-graph transfer: fidelity and lifecycle.
+
+The executor's zero-copy worker transfer publishes a prepared graph's flat
+arrays in one shared-memory segment.  These tests assert attach fidelity
+(bit-identical graph, decomposition, position and CSR views), the
+unlink-exactly-once ownership contract on every exit path — normal
+shutdown, raising workers, and a crashing pool constructor — and that the
+process-pool results stay bit-identical to the sequential enumeration.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core import enumerate_maximal_kplexes
+from repro.errors import SharedMemoryError
+from repro.graph import Graph, invalidate, prepare
+from repro.graph.generators import erdos_renyi, relaxed_caveman
+from repro.graph.shared import (
+    SharedGraphDescriptor,
+    attach_prepared,
+    live_owned_segments,
+    shared_memory_available,
+)
+from repro.parallel import executor as executor_module
+from repro.parallel.executor import (
+    ParallelConfig,
+    _enumerate_parallel,
+    parallel_enumerate_maximal_kplexes,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="platform has no shared memory"
+)
+
+
+def _prepared(seed=11):
+    graph = relaxed_caveman(5, 5, 0.3, seed=seed)
+    invalidate(graph)
+    prepared = prepare(graph)
+    prepared.csr
+    prepared.decomposition
+    prepared.position
+    return graph, prepared
+
+
+# --------------------------------------------------------------------------- #
+# Attach fidelity
+# --------------------------------------------------------------------------- #
+def test_share_attach_roundtrip_is_bit_identical():
+    graph, prepared = _prepared()
+    with prepared.share() as shared:
+        descriptor = shared.descriptor()
+        assert descriptor.num_vertices == graph.num_vertices
+        attached = attach_prepared(descriptor)
+        assert attached.graph == graph
+        assert attached.graph is not graph
+        assert attached.decomposition.order == prepared.decomposition.order
+        assert (
+            attached.decomposition.core_numbers
+            == prepared.decomposition.core_numbers
+        )
+        assert attached.decomposition.degeneracy == prepared.decomposition.degeneracy
+        assert attached.position == prepared.position
+        csr = attached.csr
+        assert csr.degrees() == prepared.csr.degrees()
+        for v in range(graph.num_vertices):
+            assert csr.neighbors_list(v) == prepared.csr.neighbors_list(v)
+        # Attached adjacency is Python ints (np.int64 masks overflow at 64
+        # vertices in the bitset arithmetic downstream).
+        assert all(
+            type(u) is int for u in sorted(attached.graph.neighbors(0))
+        )
+
+
+def test_descriptor_is_small_and_picklable():
+    _graph, prepared = _prepared()
+    with prepared.share() as shared:
+        descriptor = shared.descriptor()
+        payload = pickle.dumps(descriptor)
+        # The whole point: per-worker transfer is a fixed-size handle, not
+        # an O(n + m) graph pickle.
+        assert len(payload) < 512
+        restored = pickle.loads(payload)
+        assert restored == descriptor
+        assert isinstance(restored, SharedGraphDescriptor)
+
+
+# --------------------------------------------------------------------------- #
+# Ownership: unlink exactly once, on every path
+# --------------------------------------------------------------------------- #
+def test_unlink_is_idempotent_and_removes_the_segment():
+    _graph, prepared = _prepared()
+    shared = prepared.share()
+    name = shared.descriptor().name
+    assert name in live_owned_segments()
+    assert shared.unlink() is True
+    assert shared.unlink() is False  # second call is a no-op, not an error
+    assert name not in live_owned_segments()
+    with pytest.raises(SharedMemoryError):
+        attach_prepared(shared.descriptor())
+
+
+def test_context_manager_unlinks_on_exception():
+    _graph, prepared = _prepared()
+    with pytest.raises(RuntimeError):
+        with prepared.share() as shared:
+            name = shared.descriptor().name
+            raise RuntimeError("boom")
+    assert name not in live_owned_segments()
+
+
+def test_pool_crash_still_unlinks_segment(monkeypatch):
+    class ExplodingPool:
+        def __init__(self, *args, **kwargs):
+            raise RuntimeError("pool constructor crashed")
+
+    graph, _prepared_index = _prepared(seed=13)
+    monkeypatch.setattr(executor_module, "ProcessPoolExecutor", ExplodingPool)
+    with pytest.raises(RuntimeError, match="pool constructor crashed"):
+        _enumerate_parallel(
+            graph,
+            2,
+            4,
+            ParallelConfig(num_workers=2, use_processes=True, shared_memory=True),
+        )
+    assert live_owned_segments() == []
+
+
+def test_raising_worker_still_unlinks_segment(monkeypatch):
+    class RaisingMapPool:
+        def __init__(self, *args, **kwargs):
+            pass
+
+        def map(self, *_args, **_kwargs):
+            raise RuntimeError("worker died")
+
+        def shutdown(self, *args, **kwargs):
+            pass
+
+    graph, _prepared_index = _prepared(seed=17)
+    monkeypatch.setattr(executor_module, "ProcessPoolExecutor", RaisingMapPool)
+    with pytest.raises(RuntimeError, match="worker died"):
+        _enumerate_parallel(
+            graph,
+            2,
+            4,
+            ParallelConfig(num_workers=2, use_processes=True, shared_memory=True),
+        )
+    assert live_owned_segments() == []
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end through the process pool
+# --------------------------------------------------------------------------- #
+def test_process_pool_shared_memory_matches_sequential():
+    graph = relaxed_caveman(5, 5, 0.3, seed=21)
+    invalidate(graph)
+    expected = {p.as_set() for p in enumerate_maximal_kplexes(graph, 2, 4)}
+    result = parallel_enumerate_maximal_kplexes(
+        graph,
+        2,
+        4,
+        ParallelConfig(num_workers=2, use_processes=True, shared_memory=True),
+    )
+    assert {p.as_set() for p in result.kplexes} == expected
+    assert live_owned_segments() == []
+
+
+def test_process_pool_pickled_fallback_matches_shared():
+    graph = erdos_renyi(40, 0.3, seed=22)
+    invalidate(graph)
+    shared = parallel_enumerate_maximal_kplexes(
+        graph,
+        2,
+        5,
+        ParallelConfig(num_workers=2, use_processes=True, shared_memory=True),
+    )
+    pickled = parallel_enumerate_maximal_kplexes(
+        graph,
+        2,
+        5,
+        ParallelConfig(num_workers=2, use_processes=True, shared_memory=False),
+    )
+    assert {p.as_set() for p in shared.kplexes} == {
+        p.as_set() for p in pickled.kplexes
+    }
+    assert live_owned_segments() == []
+
+
+def test_share_works_for_both_csr_backends():
+    from repro.graph.csr import available_csr_backends
+
+    for backend in available_csr_backends():
+        graph = erdos_renyi(30, 0.25, seed=3)
+        invalidate(graph)
+        prepared = prepare(graph, csr_backend=backend)
+        prepared.position
+        with prepared.share() as shared:
+            assert shared.descriptor().csr_backend == backend
+            attached = attach_prepared(shared.descriptor())
+            assert attached.csr.neighbors_list(5) == prepared.csr.neighbors_list(5)
+            assert attached.position == prepared.position

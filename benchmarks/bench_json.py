@@ -243,12 +243,49 @@ def run_benches(repeats: int) -> Dict[str, object]:
     benches["http_restart_cold_serve"] = _sampled(cold_samples)
     benches["http_restart_warm_started_serve"] = _sampled(warm_samples)
 
+    # ---- async jobs: time-to-first-result, streamed vs synchronous ---- #
+    # Caches disabled so both transports pay true search cost every round;
+    # the comparison is chunked NDJSON streaming vs waiting for the full
+    # /v1/solve body on the same jazz k=2 q=4 workload.
+    jobs_service = KPlexService(
+        config=ServiceConfig(
+            max_workers=2, result_cache_entries=0, seed_cache_entries=0
+        )
+    )
+    jobs_server = start_server(jobs_service, port=0)
+    jobs_client = ServiceClient(jobs_server.url)
+    jobs_client.wait_ready()
+    jobs_client.register("jazz", dataset="jazz")
+
+    sync_first_samples: List[float] = []
+    stream_first_samples: List[float] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        jobs_client.solve("jazz", k=2, q=4)
+        sync_first_samples.append(time.perf_counter() - started)
+
+        started = time.perf_counter()
+        job_record = jobs_client.submit_job("jazz", k=2, q=4, result_buffer=10_000)
+        stream = jobs_client.iter_job_results(job_record["id"])
+        for item in stream:
+            if "kplex" in item:
+                stream_first_samples.append(time.perf_counter() - started)
+                break
+        stream.close()  # drop the connection; the job finishes on its own
+        jobs_client.wait_job(job_record["id"])
+    jobs_server.drain()
+
+    benches["job_sync_solve_first_result"] = _sampled(sync_first_samples)
+    benches["job_stream_first_result"] = _sampled(stream_first_samples)
+
     uncached = benches["repeated_queries_uncached"]["median_seconds"]
     cached = benches["repeated_queries_cached"]["median_seconds"]
     service_bare = benches["service_replay_bare_engine"]["median_seconds"]
     service_cached = benches["service_replay_cached"]["median_seconds"]
     http_cold = benches["http_restart_cold_serve"]["median_seconds"]
     http_warm = benches["http_restart_warm_started_serve"]["median_seconds"]
+    job_sync_first = benches["job_sync_solve_first_result"]["median_seconds"]
+    job_stream_first = benches["job_stream_first_result"]["median_seconds"]
     sweep_set = benches["two_hop_sweep_set_backed"]["median_seconds"]
     sweep_numpy = (
         benches["two_hop_sweep_csr_numpy"]["median_seconds"]
@@ -270,6 +307,9 @@ def run_benches(repeats: int) -> Dict[str, object]:
             round(http_cold / http_warm, 2) if http_warm else None
         ),
         "http_requests_per_replay": len(http_workloads),
+        "job_ttfr_speedup": (
+            round(job_sync_first / job_stream_first, 2) if job_stream_first else None
+        ),
     }
     return {
         "schema": 1,
@@ -291,10 +331,12 @@ def main() -> int:
     speedup = payload["derived"]["repeated_query_speedup"]
     service_speedup = payload["derived"]["service_replay_speedup"]
     http_speedup = payload["derived"]["http_warm_restart_speedup"]
+    job_speedup = payload["derived"]["job_ttfr_speedup"]
     print(
         f"wrote {args.output} (repeated-query speedup: {speedup}x, "
         f"service-replay speedup: {service_speedup}x, "
-        f"http warm-restart speedup: {http_speedup}x)"
+        f"http warm-restart speedup: {http_speedup}x, "
+        f"job-stream TTFR speedup: {job_speedup}x)"
     )
     return 0
 

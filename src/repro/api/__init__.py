@@ -24,7 +24,7 @@ Quick start
 1
 """
 
-from .engine import CancellationToken, KPlexEngine, ProgressEvent
+from .engine import CancellationToken, KPlexEngine, ProgressEvent, StreamOutcome
 from .registry import (
     Solver,
     SolverRun,
@@ -48,6 +48,7 @@ __all__ = [
     "KPlexEngine",
     "CancellationToken",
     "ProgressEvent",
+    "StreamOutcome",
     "EnumerationRequest",
     "EnumerationResponse",
     "DEFAULT_SOLVER",

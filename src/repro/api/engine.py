@@ -75,13 +75,24 @@ class ProgressEvent:
     latest: KPlex
 
 
-class _RunOutcome:
-    """Mutable bookkeeping shared between the streaming loop and solve()."""
+class StreamOutcome:
+    """Mutable bookkeeping shared between the streaming loop and its caller.
+
+    Filled in as the stream produced by :meth:`KPlexEngine.stream_run`
+    advances: once the iterator is exhausted (or closed), ``termination``
+    holds the reason the run ended, ``elapsed_seconds`` the wall-clock time
+    since dispatch, and ``run`` the underlying :class:`SolverRun` (for
+    statistics and solver metadata).
+    """
 
     def __init__(self) -> None:
         self.termination: str = TERMINATION_COMPLETED
         self.elapsed_seconds: float = 0.0
         self.run: Optional[SolverRun] = None
+
+
+#: Backwards-compatible private alias (pre-jobs-subsystem name).
+_RunOutcome = StreamOutcome
 
 
 class KPlexEngine:
@@ -233,6 +244,23 @@ class KPlexEngine:
         is invoked after every yielded result.
         """
         return self._stream(request, _RunOutcome(), cancel, on_progress)
+
+    def stream_run(
+        self,
+        request: EnumerationRequest,
+        cancel: Optional[CancellationToken] = None,
+        on_progress: Optional[Callable[[ProgressEvent], None]] = None,
+    ) -> "tuple[Iterator[KPlex], StreamOutcome]":
+        """Like :meth:`stream`, but also return the run's outcome record.
+
+        The returned :class:`StreamOutcome` is populated as the iterator
+        advances and is final once the iterator stops (or is closed): the
+        async job subsystem uses it to distinguish a completed enumeration
+        from a timeout, a result-limit stop or a cooperative cancellation
+        without materialising the results.
+        """
+        outcome = StreamOutcome()
+        return self._stream(request, outcome, cancel, on_progress), outcome
 
     def solve(
         self,

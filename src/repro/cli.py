@@ -17,8 +17,12 @@ any Python; every mining command is routed through the
   worker pool, cross-request result cache) and emit JSONL responses plus a
   metrics snapshot;
 * ``kplex-enum serve-http`` — run the HTTP/JSON front-end
-  (:mod:`repro.server`): ``POST /v1/solve``, graph registration, metrics
-  (JSON or Prometheus), warm-state snapshots and graceful SIGTERM drain.
+  (:mod:`repro.server`): ``POST /v1/solve``, the async ``/v1/jobs``
+  lifecycle, graph registration, metrics (JSON or Prometheus), warm-state
+  snapshots and graceful SIGTERM drain;
+* ``kplex-enum jobs submit|status|list|cancel|stream`` — drive the async
+  job API of a running server from the shell (``stream`` prints the
+  chunked NDJSON result stream line by line as the enumeration runs).
 
 Batch and HTTP modes share one warm-state snapshot format
 (:mod:`repro.server.persistence`): a snapshot written by either can warm
@@ -304,6 +308,108 @@ def _build_parser() -> argparse.ArgumentParser:
     http_parser.add_argument(
         "--access-log", action="store_true",
         help="print one access-log line per request to stderr",
+    )
+    http_parser.add_argument(
+        "--job-workers", type=int, default=2,
+        help="worker threads for async /v1/jobs (default: 2, separate from --workers)",
+    )
+    http_parser.add_argument(
+        "--job-queue", type=int, default=16,
+        help="async jobs allowed to queue beyond the running ones (default: 16)",
+    )
+    http_parser.add_argument(
+        "--job-buffer", type=int, default=4096,
+        help="per-job result-buffer bound; slow stream consumers pause the "
+             "producer, unconsumed jobs drop oldest-first (default: 4096)",
+    )
+    http_parser.add_argument(
+        "--job-ttl", type=float, default=300.0,
+        help="seconds a finished job's results stay fetchable (default: 300)",
+    )
+    http_parser.add_argument(
+        "--drain-jobs", default="wait", choices=["wait", "cancel"],
+        help="on SIGTERM, let live jobs finish ('wait', default) or stop "
+             "them cooperatively ('cancel')",
+    )
+
+    jobs_parser = subparsers.add_parser(
+        "jobs",
+        help="drive the async job API of a running kplex-enum serve-http server",
+    )
+    jobs_sub = jobs_parser.add_subparsers(dest="jobs_command", required=True)
+
+    def _add_url(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--url", default="http://127.0.0.1:8080",
+            help="server base URL (default: http://127.0.0.1:8080)",
+        )
+
+    submit_parser = jobs_sub.add_parser(
+        "submit", help="POST /v1/jobs — submit an async enumeration"
+    )
+    _add_url(submit_parser)
+    submit_parser.add_argument("graph", help="catalog graph name on the server")
+    submit_parser.add_argument("-k", type=int, required=True, help="k-plex parameter")
+    submit_parser.add_argument("-q", type=int, required=True, help="minimum k-plex size")
+    submit_parser.add_argument("--solver", default=None, help="solver backend name")
+    submit_parser.add_argument("--variant", default=None, help="algorithm variant")
+    submit_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="solver wall-clock budget (enforced server-side)",
+    )
+    submit_parser.add_argument(
+        "--max-results", type=int, default=None, metavar="N", help="stop after N results"
+    )
+    submit_parser.add_argument(
+        "--result-buffer", type=int, default=None, metavar="N",
+        help="override the server's per-job result-buffer bound",
+    )
+    submit_parser.add_argument(
+        "--ttl", type=float, default=None, metavar="SECONDS",
+        help="override the server's retention of this job's results",
+    )
+    submit_parser.add_argument(
+        "--wait", action="store_true",
+        help="block until the job is terminal and print the final record",
+    )
+
+    status_parser = jobs_sub.add_parser(
+        "status", help="GET /v1/jobs/<id> — print one job record as JSON"
+    )
+    _add_url(status_parser)
+    status_parser.add_argument("job_id", help="job id returned by submit")
+
+    list_parser = jobs_sub.add_parser(
+        "list", help="GET /v1/jobs — list job records"
+    )
+    _add_url(list_parser)
+    list_parser.add_argument(
+        "--state", action="append", default=[],
+        choices=["pending", "running", "succeeded", "failed", "cancelled", "expired"],
+        help="only list jobs in this state; repeatable",
+    )
+    list_parser.add_argument(
+        "--json", action="store_true", help="print full records as JSON"
+    )
+
+    cancel_parser = jobs_sub.add_parser(
+        "cancel", help="DELETE /v1/jobs/<id> — cancel a job cooperatively"
+    )
+    _add_url(cancel_parser)
+    cancel_parser.add_argument("job_id", help="job id returned by submit")
+
+    stream_parser = jobs_sub.add_parser(
+        "stream",
+        help="GET /v1/jobs/<id>/results?stream=1 — print NDJSON results live",
+    )
+    _add_url(stream_parser)
+    stream_parser.add_argument("job_id", help="job id returned by submit")
+    stream_parser.add_argument(
+        "--start", type=int, default=0, help="first result index to read (default: 0)"
+    )
+    stream_parser.add_argument(
+        "--heartbeats", action="store_true",
+        help="also print the server's keep-alive heartbeat lines",
     )
     return parser
 
@@ -595,6 +701,8 @@ def _command_serve_http(args: argparse.Namespace) -> int:
         )
 
     logger = (lambda line: print(line, file=sys.stderr)) if args.access_log else None
+    from .jobs import JobManagerConfig
+
     serve_http(
         service,
         host=args.host,
@@ -604,6 +712,13 @@ def _command_serve_http(args: argparse.Namespace) -> int:
         request_deadline=args.request_deadline,
         logger=logger,
         ready=ready,
+        job_config=JobManagerConfig(
+            max_concurrent=args.job_workers,
+            max_queue_depth=args.job_queue,
+            result_buffer=args.job_buffer,
+            ttl_seconds=args.job_ttl,
+        ),
+        drain_jobs=args.drain_jobs,
     )
     metrics = service.metrics()
     print(
@@ -611,6 +726,54 @@ def _command_serve_http(args: argparse.Namespace) -> int:
         f"hit rate {metrics['hit_rate']:.2f}",
         file=sys.stderr,
     )
+    return 0
+
+
+def _command_jobs(args: argparse.Namespace) -> int:
+    from .server import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.jobs_command == "submit":
+        record = client.submit_job(
+            args.graph,
+            k=args.k,
+            q=args.q,
+            solver=args.solver,
+            variant=args.variant,
+            timeout=args.timeout,
+            max_results=args.max_results,
+            result_buffer=args.result_buffer,
+            ttl=args.ttl,
+        )
+        if args.wait:
+            record = client.wait_job(record["id"])
+        print(json.dumps(record, indent=2, default=str))
+    elif args.jobs_command == "status":
+        print(json.dumps(client.job(args.job_id), indent=2, default=str))
+    elif args.jobs_command == "list":
+        records = client.jobs(states=args.state or None)
+        if args.json:
+            print(json.dumps(records, indent=2, default=str))
+        else:
+            rows = [
+                {
+                    "id": record["id"],
+                    "state": record["state"],
+                    "k": record["spec"].get("k"),
+                    "q": record["spec"].get("q"),
+                    "results": record["progress"]["results"],
+                    "elapsed": record.get("elapsed_seconds"),
+                }
+                for record in records
+            ]
+            print(render_table(rows, title=f"Jobs on {args.url}"))
+    elif args.jobs_command == "cancel":
+        print(json.dumps(client.cancel_job(args.job_id), indent=2, default=str))
+    else:  # stream
+        for record in client.iter_job_results(
+            args.job_id, start=args.start, include_heartbeats=args.heartbeats
+        ):
+            print(json.dumps(record, default=str), flush=True)
     return 0
 
 
@@ -622,6 +785,7 @@ _COMMANDS = {
     "experiment": _command_experiment,
     "serve": _command_serve,
     "serve-http": _command_serve_http,
+    "jobs": _command_jobs,
 }
 
 

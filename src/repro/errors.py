@@ -45,6 +45,30 @@ class SnapshotError(ServiceError):
     """Raised when a service snapshot cannot be written, read or validated."""
 
 
+class JobError(ServiceError):
+    """Base class for errors raised by the async job subsystem (:mod:`repro.jobs`)."""
+
+
+class JobNotFoundError(JobError):
+    """Raised when a job id names no live job record (unknown or already evicted)."""
+
+
+class JobStateError(JobError):
+    """Raised when an operation is invalid in the job's current state."""
+
+
+class JobQueueFullError(JobError, ServiceOverloadError):
+    """Raised when the job manager's concurrency + queue budget is exhausted.
+
+    Inherits :class:`ServiceOverloadError` so existing overload handling
+    (HTTP 429 + Retry-After, client-side backoff) applies unchanged.
+    """
+
+
+class JobResultsTruncatedError(JobError):
+    """Raised when a reader asks for job results the bounded buffer has dropped."""
+
+
 class RemoteServiceError(ServiceError):
     """An HTTP server answered with an error the client cannot map locally.
 

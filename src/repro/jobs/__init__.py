@@ -1,0 +1,56 @@
+"""Async job subsystem: first-class records for long-running enumerations.
+
+Submitting through a :class:`JobManager` turns an enumeration into a
+:class:`Job` — an id, a validated spec, a timestamped lifecycle state
+machine (``pending → running → succeeded/failed/cancelled → expired``),
+progress counters and a bounded :class:`ResultLog` that streams results
+to readers with backpressure.  The HTTP layer exposes the table as the
+``/v1/jobs`` routes; this package is the transport-free core.
+
+>>> from repro.jobs import JobManager, JOB_SUCCEEDED
+>>> from repro.service import KPlexService
+"""
+
+from .job import (
+    JOB_CANCELLED,
+    JOB_EXPIRED,
+    JOB_FAILED,
+    JOB_PENDING,
+    JOB_RUNNING,
+    JOB_STATES,
+    JOB_SUCCEEDED,
+    READ_END,
+    READ_ITEM,
+    READ_TIMEOUT,
+    TERMINAL_STATES,
+    Job,
+    ResultLog,
+)
+from .manager import (
+    DRAIN_CANCEL,
+    DRAIN_POLICIES,
+    DRAIN_WAIT,
+    JobManager,
+    JobManagerConfig,
+)
+
+__all__ = [
+    "Job",
+    "ResultLog",
+    "JobManager",
+    "JobManagerConfig",
+    "JOB_PENDING",
+    "JOB_RUNNING",
+    "JOB_SUCCEEDED",
+    "JOB_FAILED",
+    "JOB_CANCELLED",
+    "JOB_EXPIRED",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "READ_ITEM",
+    "READ_END",
+    "READ_TIMEOUT",
+    "DRAIN_WAIT",
+    "DRAIN_CANCEL",
+    "DRAIN_POLICIES",
+]

@@ -1,0 +1,481 @@
+"""The :class:`JobManager`: async job admission, execution and lifecycle.
+
+Wraps a :class:`~repro.service.KPlexService` so long enumerations become
+first-class :class:`~repro.jobs.job.Job` records instead of pinned HTTP
+connections:
+
+* **admission** — at most ``max_concurrent + max_queue_depth`` live jobs;
+  beyond that :class:`~repro.errors.JobQueueFullError` (HTTP 429) is the
+  load-shedding signal, on a budget deliberately *separate* from the sync
+  ``/v1/solve`` pool so background jobs cannot starve interactive traffic;
+* **execution** — each job streams through the engine's lazy
+  ``stream_run`` with the service's default timeout and seed-context
+  cache, feeding the job's progress counters and its bounded
+  :class:`~repro.jobs.job.ResultLog` (slow consumers pause the producer);
+* **cancellation** — ``DELETE``-driven :meth:`cancel` propagates through
+  the engine's cooperative token, so solver work actually stops;
+* **garbage collection** — terminal jobs expire after their TTL (results
+  freed, record retained), and the table is capped at ``max_jobs``
+  records with the oldest terminal ones evicted first;
+* **metrics** — jobs by state, queue depth, and a time-to-first-result
+  p50/p95 reservoir, exported as one JSON-ready snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..api.request import EnumerationRequest
+from ..api.response import TERMINATION_CANCELLED
+from ..errors import (
+    JobNotFoundError,
+    JobQueueFullError,
+    ParameterError,
+    ServiceClosedError,
+)
+from ..graph import Graph
+from ..service.service import KPlexService, _percentile
+from .job import (
+    JOB_CANCELLED,
+    JOB_FAILED,
+    JOB_PENDING,
+    JOB_RUNNING,
+    JOB_STATES,
+    JOB_SUCCEEDED,
+    Job,
+)
+
+#: Drain policies accepted by :meth:`JobManager.close`.
+DRAIN_WAIT = "wait"
+DRAIN_CANCEL = "cancel"
+DRAIN_POLICIES = (DRAIN_WAIT, DRAIN_CANCEL)
+
+
+@dataclass(frozen=True)
+class JobManagerConfig:
+    """Tunable knobs of :class:`JobManager`.
+
+    Attributes
+    ----------
+    max_concurrent:
+        Worker threads running jobs (separate from the sync service pool).
+    max_queue_depth:
+        Jobs allowed to wait beyond the running ones; the admission bound
+        is ``max_concurrent + max_queue_depth`` live (non-terminal) jobs.
+    result_buffer:
+        Default per-job bound on buffered results (``None`` = unbounded);
+        each submission may override it.
+    ttl_seconds:
+        Default retention of a terminal job's results before it expires.
+    max_jobs:
+        Hard cap on retained job records (terminal ones evicted oldest
+        first beyond it).
+    latency_window:
+        Samples kept for the time-to-first-result p50/p95 estimates.
+    """
+
+    max_concurrent: int = 2
+    max_queue_depth: int = 16
+    result_buffer: Optional[int] = 4096
+    ttl_seconds: float = 300.0
+    max_jobs: int = 1024
+    latency_window: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent < 1:
+            raise ParameterError(
+                f"max_concurrent must be >= 1, got {self.max_concurrent}"
+            )
+        if self.max_queue_depth < 0:
+            raise ParameterError(
+                f"max_queue_depth must be >= 0, got {self.max_queue_depth}"
+            )
+        if self.result_buffer is not None and self.result_buffer < 1:
+            raise ParameterError(
+                f"result_buffer must be >= 1 or None, got {self.result_buffer}"
+            )
+        if self.ttl_seconds < 0:
+            raise ParameterError(
+                f"ttl_seconds must be non-negative, got {self.ttl_seconds}"
+            )
+        if self.max_jobs < self.max_concurrent + self.max_queue_depth:
+            raise ParameterError(
+                "max_jobs must cover the admission budget "
+                f"({self.max_concurrent + self.max_queue_depth}), got {self.max_jobs}"
+            )
+
+
+class JobManager:
+    """Lifecycle table + executor for async enumeration jobs.
+
+    >>> from repro.service import KPlexService
+    >>> from repro.jobs import JobManager
+    >>> service = KPlexService()
+    >>> service.catalog.register("toy", [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+    CatalogEntry(name='toy', ...)
+    >>> manager = JobManager(service)
+    >>> job = manager.submit("toy", k=2, q=3)
+    >>> manager.wait(job.id).state
+    'succeeded'
+
+    (doctest shown for shape only — see ``tests/test_jobs.py``.)
+    """
+
+    def __init__(
+        self,
+        service: KPlexService,
+        config: Optional[JobManagerConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.service = service
+        self.config = config or JobManagerConfig()
+        self._clock = clock
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._pool: Optional[object] = None
+        self._pool_lock = threading.Lock()
+        self._closed = False
+        # Counters (under self._lock).
+        self._submitted = 0
+        self._rejected = 0
+        self._succeeded = 0
+        self._failed = 0
+        self._cancelled = 0
+        self._expired = 0
+        self._evicted = 0
+        self._ttfr: "deque[float]" = deque(maxlen=self.config.latency_window)
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        request: Union[EnumerationRequest, str, Graph],
+        k: Optional[int] = None,
+        q: Optional[int] = None,
+        result_buffer: Optional[int] = None,
+        ttl_seconds: Optional[float] = None,
+        **kwargs: object,
+    ) -> Job:
+        """Admit a job and return its PENDING record immediately.
+
+        Accepts either a finished :class:`EnumerationRequest` or a catalog
+        name / graph plus ``k``, ``q`` and request keywords (the same
+        surface as :meth:`KPlexService.submit`).  ``result_buffer`` and
+        ``ttl_seconds`` override the manager defaults for this job only.
+
+        Raises :class:`JobQueueFullError` when ``max_concurrent +
+        max_queue_depth`` jobs are already live, and
+        :class:`ServiceClosedError` after :meth:`close`.
+        """
+        if self._closed:
+            raise ServiceClosedError("the job manager is closed")
+        if isinstance(request, EnumerationRequest):
+            if k is not None or q is not None or kwargs:
+                raise ParameterError(
+                    "pass either a finished EnumerationRequest or "
+                    "(graph, k, q, ...) keywords, not both"
+                )
+            coerced = request
+            graph_name = None
+        else:
+            if k is None or q is None:
+                raise ParameterError(
+                    "k and q are required when passing a graph or name"
+                )
+            coerced = self.service.request(request, k, q, **kwargs)
+            graph_name = request if isinstance(request, str) else None
+        if result_buffer is not None and result_buffer < 1:
+            raise ParameterError(
+                f"result_buffer must be >= 1, got {result_buffer}"
+            )
+        if ttl_seconds is not None and ttl_seconds < 0:
+            raise ParameterError(
+                f"ttl_seconds must be non-negative, got {ttl_seconds}"
+            )
+        spec = coerced.describe()
+        if graph_name is not None:
+            spec["graph"] = graph_name
+        capacity = self.config.max_concurrent + self.config.max_queue_depth
+        with self._lock:
+            self._gc_locked()
+            live = sum(1 for job in self._jobs.values() if not job.terminal)
+            if live >= capacity:
+                self._rejected += 1
+                raise JobQueueFullError(
+                    f"job manager at capacity: {live} jobs live "
+                    f"(max_concurrent={self.config.max_concurrent}, "
+                    f"max_queue_depth={self.config.max_queue_depth})"
+                )
+            job_id = uuid.uuid4().hex[:16]
+            while job_id in self._jobs:  # pragma: no cover - 64-bit collision
+                job_id = uuid.uuid4().hex[:16]
+            job = Job(
+                job_id,
+                coerced,
+                spec,
+                result_buffer=(
+                    result_buffer
+                    if result_buffer is not None
+                    else self.config.result_buffer
+                ),
+                ttl_seconds=(
+                    ttl_seconds if ttl_seconds is not None else self.config.ttl_seconds
+                ),
+                clock=self._clock,
+            )
+            self._jobs[job.id] = job
+            self._submitted += 1
+        self._ensure_pool().submit(self._run, job)
+        return job
+
+    # ------------------------------------------------------------------ #
+    # Table access
+    # ------------------------------------------------------------------ #
+    def get(self, job_id: str) -> Job:
+        """Return the job record, or raise :class:`JobNotFoundError`."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(f"unknown job id {job_id!r}")
+        return job
+
+    def jobs(self, states: Optional[Sequence[str]] = None) -> List[Job]:
+        """List job records in submission order, optionally state-filtered."""
+        if states is not None:
+            unknown = set(states) - set(JOB_STATES)
+            if unknown:
+                raise ParameterError(
+                    f"unknown job states {sorted(unknown)}; "
+                    f"known states: {', '.join(JOB_STATES)}"
+                )
+            wanted = frozenset(states)
+        else:
+            wanted = None
+        with self._lock:
+            self._gc_locked()
+            return [
+                job
+                for job in self._jobs.values()
+                if wanted is None or job.state in wanted
+            ]
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job; ``True`` if it was still cancellable.
+
+        Propagates through the engine's cooperative token: a RUNNING job's
+        solver stops between results (its progress counters freeze), a
+        PENDING one never starts.
+        """
+        job = self.get(job_id)
+        cancelled = job.cancel()
+        if cancelled and job.state == JOB_CANCELLED:
+            # Cancelled before it ran; the runner will skip it.
+            with self._lock:
+                self._cancelled += 1
+        return cancelled
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:
+        """Block until the job is terminal (polling); returns the record."""
+        job = self.get(job_id)
+        deadline = None if timeout is None else self._clock() + timeout
+        while not job.terminal:
+            if deadline is not None and self._clock() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job.state} after {timeout}s"
+                )
+            time.sleep(0.005)
+        return job
+
+    # ------------------------------------------------------------------ #
+    # Garbage collection
+    # ------------------------------------------------------------------ #
+    def gc(self) -> int:
+        """Expire terminal jobs past their TTL; returns how many expired."""
+        with self._lock:
+            return self._gc_locked()
+
+    def _gc_locked(self) -> int:
+        now = self._clock()
+        expired = 0
+        for job in self._jobs.values():
+            if job.state not in (JOB_SUCCEEDED, JOB_FAILED, JOB_CANCELLED):
+                continue
+            age = job.age_since_finish(now)
+            ttl = job.ttl_seconds
+            if age is not None and ttl is not None and age >= ttl:
+                if job.expire():
+                    expired += 1
+                    self._expired += 1
+        overflow = len(self._jobs) - self.config.max_jobs
+        if overflow > 0:
+            for job_id in [
+                job.id for job in self._jobs.values() if job.terminal
+            ][:overflow]:
+                del self._jobs[job_id]
+                self._evicted += 1
+        return expired
+
+    # ------------------------------------------------------------------ #
+    # Metrics / lifecycle
+    # ------------------------------------------------------------------ #
+    def metrics(self) -> Dict[str, object]:
+        """One JSON-ready snapshot of the job table and its counters."""
+        with self._lock:
+            by_state = {state: 0 for state in JOB_STATES}
+            buffered = dropped = 0
+            for job in self._jobs.values():
+                by_state[job.state] += 1
+                buffered += job.results.buffered
+                dropped += job.results.dropped
+            ttfr = sorted(self._ttfr)
+            snapshot: Dict[str, object] = {
+                "submitted": self._submitted,
+                "rejected": self._rejected,
+                "succeeded": self._succeeded,
+                "failed": self._failed,
+                "cancelled": self._cancelled,
+                "expired": self._expired,
+                "evicted": self._evicted,
+                "by_state": by_state,
+                "queue_depth": by_state[JOB_PENDING],
+                "running": by_state[JOB_RUNNING],
+                "buffered_results": buffered,
+                "dropped_results": dropped,
+                "ttfr_samples": len(ttfr),
+            }
+            if ttfr:
+                snapshot["time_to_first_result_p50_seconds"] = _percentile(ttfr, 0.50)
+                snapshot["time_to_first_result_p95_seconds"] = _percentile(ttfr, 0.95)
+            return snapshot
+
+    def summary(self) -> Dict[str, object]:
+        """Compact job-table summary for drain-time snapshots."""
+        metrics = self.metrics()
+        return {
+            "jobs_total": metrics["submitted"],
+            "by_state": metrics["by_state"],
+            "succeeded": metrics["succeeded"],
+            "failed": metrics["failed"],
+            "cancelled": metrics["cancelled"],
+            "expired": metrics["expired"],
+            "rejected": metrics["rejected"],
+        }
+
+    @property
+    def closed(self) -> bool:
+        """``True`` once :meth:`close` has begun; submissions are rejected."""
+        return self._closed
+
+    def close(self, policy: str = DRAIN_WAIT, timeout: Optional[float] = None) -> None:
+        """Stop accepting jobs and settle the live ones per ``policy``.
+
+        ``"wait"`` lets running and queued jobs finish normally;
+        ``"cancel"`` cancels every non-terminal job first (cooperatively —
+        running solvers stop between results).  Both then wait for the
+        worker pool to retire.  Idempotent.
+        """
+        if policy not in DRAIN_POLICIES:
+            raise ParameterError(
+                f"unknown drain policy {policy!r}; expected one of {DRAIN_POLICIES}"
+            )
+        self._closed = True
+        if policy == DRAIN_CANCEL:
+            with self._lock:
+                live = [job for job in self._jobs.values() if not job.terminal]
+            for job in live:
+                if job.cancel() and job.state == JOB_CANCELLED:
+                    with self._lock:
+                        self._cancelled += 1
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "JobManager":
+        return self
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        with self._pool_lock:
+            if self._pool is None:
+                if self._closed:
+                    raise ServiceClosedError("the job manager is closed")
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.config.max_concurrent,
+                    thread_name_prefix="kplex-jobs",
+                )
+            return self._pool
+
+    @staticmethod
+    def _encode(index: int, plex) -> Dict[str, object]:
+        """One streamed k-plex as its NDJSON wire record."""
+        return {
+            "index": index,
+            "size": plex.size,
+            "kplex": list(plex.labels),
+        }
+
+    def _run(self, job: Job) -> None:
+        if not job.try_start():
+            # Cancelled while queued; the admission slot frees here.
+            return
+        try:
+            iterator, outcome = self.service.stream_run(
+                job.request, cancel=job.cancel_token
+            )
+            index = 0
+            for plex in iterator:
+                job.note_result()
+                if job.first_result_seconds is not None and index == 0:
+                    with self._lock:
+                        self._ttfr.append(job.first_result_seconds)
+                appended = job.results.append(
+                    self._encode(index, plex),
+                    should_abort=lambda: job.cancel_token.cancelled,
+                )
+                index += 1
+                if not appended and not job.cancel_token.cancelled:
+                    break  # pragma: no cover - log closed under the producer
+        except BaseException as exc:  # noqa: BLE001 - job table absorbs errors
+            job.finish(JOB_FAILED, error=f"{type(exc).__name__}: {exc}")
+            with self._lock:
+                self._failed += 1
+            return
+        statistics = None
+        run = outcome.run
+        if run is not None:
+            try:
+                statistics = run.statistics().as_dict()
+            except Exception:  # pragma: no cover - defensive
+                statistics = None
+        if outcome.termination == TERMINATION_CANCELLED:
+            job.finish(
+                JOB_CANCELLED,
+                termination=outcome.termination,
+                elapsed_seconds=outcome.elapsed_seconds,
+                statistics=statistics,
+            )
+            with self._lock:
+                self._cancelled += 1
+        else:
+            job.finish(
+                JOB_SUCCEEDED,
+                termination=outcome.termination,
+                elapsed_seconds=outcome.elapsed_seconds,
+                statistics=statistics,
+            )
+            with self._lock:
+                self._succeeded += 1

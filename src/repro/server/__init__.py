@@ -7,8 +7,10 @@ now survives it, and clients no longer need to share the interpreter.
 * :class:`KPlexHTTPServer` / :func:`serve_http` / :func:`start_server` —
   a stdlib ``ThreadingHTTPServer`` exposing ``POST /v1/solve``,
   ``POST|GET /v1/graphs``, ``GET /v1/metrics`` (JSON or Prometheus text),
-  ``GET /healthz`` and ``POST /v1/snapshot``, with structured error
-  bodies and graceful drain-then-shutdown on SIGTERM;
+  ``GET /healthz``, ``POST /v1/snapshot`` and the async ``/v1/jobs``
+  lifecycle routes (submit / poll / list / cancel / chunked NDJSON result
+  streaming), with structured error bodies and graceful
+  drain-then-shutdown on SIGTERM;
 * :mod:`repro.server.persistence` — versioned on-disk snapshots of the
   hot state (catalog registrations, the hottest replayable request specs,
   seed-context specs) validated against ``Graph.epoch`` on load;

@@ -26,7 +26,8 @@ import threading
 from http.server import ThreadingHTTPServer
 from typing import Callable, Optional, Union
 
-from ..errors import SnapshotError
+from ..errors import ParameterError, SnapshotError
+from ..jobs import DRAIN_POLICIES, DRAIN_WAIT, JobManager, JobManagerConfig
 from ..service import KPlexService
 from .handlers import KPlexRequestHandler
 from .persistence import WarmStartReport, save_snapshot, warm_start
@@ -58,6 +59,16 @@ class KPlexHTTPServer(ThreadingHTTPServer):
     logger:
         Callable receiving access-log lines; ``None`` keeps the server
         quiet (the stdlib default of spamming stderr is never used).
+    job_config:
+        Budgets of the async ``/v1/jobs`` manager (worker threads, queue
+        depth, result buffering, TTL); ``None`` uses the defaults.  The
+        job pool is deliberately separate from the sync solve pool so
+        background jobs never starve interactive requests.
+    drain_jobs:
+        What :meth:`drain` does with live jobs: ``"wait"`` (default) lets
+        them finish, ``"cancel"`` stops them cooperatively.  Streaming
+        clients always receive a well-formed final NDJSON record either
+        way.
     """
 
     # Handler threads are joined on server_close(): an in-flight response is
@@ -73,9 +84,18 @@ class KPlexHTTPServer(ThreadingHTTPServer):
         snapshot_interval: Optional[float] = None,
         request_deadline: Optional[float] = None,
         logger: Optional[Callable[[str], None]] = None,
+        job_config: Optional[JobManagerConfig] = None,
+        drain_jobs: str = DRAIN_WAIT,
     ) -> None:
+        if drain_jobs not in DRAIN_POLICIES:
+            raise ParameterError(
+                f"unknown drain_jobs policy {drain_jobs!r}; "
+                f"expected one of {DRAIN_POLICIES}"
+            )
         super().__init__(address, KPlexRequestHandler)
         self.service = service
+        self.jobs = JobManager(service, job_config)
+        self.drain_jobs = drain_jobs
         self.snapshot_path = snapshot_path
         self.snapshot_interval = snapshot_interval
         self.request_deadline = request_deadline
@@ -134,7 +154,11 @@ class KPlexHTTPServer(ThreadingHTTPServer):
         if not self.snapshot_path:
             return None
         with self._snapshot_lock:
-            return save_snapshot(self.service, self.snapshot_path)
+            return save_snapshot(
+                self.service,
+                self.snapshot_path,
+                extra={"jobs": self.jobs.summary()},
+            )
 
     def warm_start(
         self, snapshot: Optional[Union[str, dict]] = None
@@ -167,6 +191,12 @@ class KPlexHTTPServer(ThreadingHTTPServer):
         self.draining = True
         self._stop_snapshots.set()
         self.shutdown()  # stop serve_forever and new accepts
+        # Settle the job table before the service closes: "wait" lets live
+        # jobs run to completion, "cancel" stops them cooperatively.  Either
+        # way every streaming handler observes its job's result log close
+        # and writes a well-formed final NDJSON record before server_close()
+        # joins it below.
+        self.jobs.close(policy=self.drain_jobs)
         if close_service:
             self.service.close(drain=True)
         # Retire the periodic writer before taking the final snapshot: a
@@ -219,12 +249,15 @@ def serve_http(
     logger: Optional[Callable[[str], None]] = None,
     ready: Optional[Callable[[KPlexHTTPServer], None]] = None,
     install_signal_handlers: bool = True,
+    job_config: Optional[JobManagerConfig] = None,
+    drain_jobs: str = DRAIN_WAIT,
 ) -> KPlexHTTPServer:
     """Serve until SIGTERM/SIGINT, then drain; the CLI's blocking core.
 
     ``ready`` is called with the bound server before the first request is
     accepted (the CLI prints the URL there).  On return the server has
-    fully drained: no listener, no worker threads, final snapshot written.
+    fully drained: no listener, no worker threads, final snapshot written
+    (including the job-table summary).
     """
     server = KPlexHTTPServer(
         (host, port),
@@ -233,6 +266,8 @@ def serve_http(
         snapshot_interval=snapshot_interval,
         request_deadline=request_deadline,
         logger=logger,
+        job_config=job_config,
+        drain_jobs=drain_jobs,
     )
     previous = {}
     if install_signal_handlers:

@@ -1,34 +1,57 @@
 """Stdlib HTTP client for the k-plex serving front-end.
 
 :class:`ServiceClient` speaks the JSON wire contract of
-:mod:`repro.server.handlers` over :mod:`urllib` — no dependencies, so any
-Python process (or a curl one-liner, see the README's Deployment section)
-can drive a remote server.  Structured error bodies are mapped back onto
-the library's exception types: a ``429`` raises
-:class:`~repro.errors.ServiceOverloadError` exactly as a local
-:class:`~repro.service.KPlexService` would, unknown graphs raise
-:class:`~repro.errors.CatalogError`, validation problems raise
+:mod:`repro.server.handlers` over :mod:`http.client` — no dependencies,
+so any Python process (or a curl one-liner, see the README's Deployment
+section) can drive a remote server.  Structured error bodies are mapped
+back onto the library's exception types: a ``429`` raises
+:class:`~repro.errors.ServiceOverloadError` (or its job-queue subclass)
+exactly as a local :class:`~repro.service.KPlexService` would, unknown
+graphs raise :class:`~repro.errors.CatalogError`, unknown job ids raise
+:class:`~repro.errors.JobNotFoundError`, validation problems raise
 :class:`~repro.errors.ParameterError`, and anything unmapped raises
 :class:`~repro.errors.RemoteServiceError` carrying the HTTP status.
+
+Two transport features are opt-in:
+
+* ``keep_alive=True`` reuses one persistent connection across calls
+  (HTTP/1.1 keep-alive), transparently reconnecting once when the server
+  closed it between requests.  The reused connection is **not**
+  thread-safe — give each thread its own client, or leave keep-alive off
+  (the default opens a fresh connection per call, which is always safe);
+* every endpoint method accepts ``request_timeout`` overriding the
+  client-wide socket timeout for that one call (a long solve can wait
+  minutes while health checks keep failing fast).
+
+The async job API mirrors the ``/v1/jobs`` routes: :meth:`submit_job`,
+:meth:`job`, :meth:`jobs`, :meth:`cancel_job`, :meth:`job_results` and
+the generator :meth:`iter_job_results`, which consumes the chunked
+NDJSON stream result-by-result while the enumeration is still running.
 """
 
 from __future__ import annotations
 
 import json
 import time
-import urllib.error
-import urllib.request
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from http.client import HTTPConnection, HTTPException, HTTPResponse
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from urllib.parse import urlsplit
 
 from ..errors import (
     CatalogError,
     GraphError,
+    JobError,
+    JobNotFoundError,
+    JobQueueFullError,
+    JobResultsTruncatedError,
+    JobStateError,
     ParameterError,
     RemoteServiceError,
     ServiceClosedError,
     ServiceOverloadError,
     SnapshotError,
 )
+from ..jobs import TERMINAL_STATES
 
 #: ``error.type`` labels mapped back onto local exception types.
 _ERROR_TYPES = {
@@ -38,7 +61,20 @@ _ERROR_TYPES = {
     "ParameterError": ParameterError,
     "GraphError": GraphError,
     "SnapshotError": SnapshotError,
+    "JobError": JobError,
+    "JobNotFoundError": JobNotFoundError,
+    "JobQueueFullError": JobQueueFullError,
+    "JobStateError": JobStateError,
+    "JobResultsTruncatedError": JobResultsTruncatedError,
 }
+
+#: Connection-level failures that mean "the reused socket went stale".
+_STALE_CONNECTION_ERRORS = (
+    HTTPException,
+    ConnectionResetError,
+    BrokenPipeError,
+    ConnectionAbortedError,
+)
 
 
 class ServiceClient:
@@ -50,17 +86,34 @@ class ServiceClient:
     1
     """
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        keep_alive: bool = False,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.keep_alive = keep_alive
+        split = urlsplit(self.base_url)
+        if split.scheme not in ("http", ""):
+            raise ParameterError(
+                f"unsupported URL scheme {split.scheme!r}; only http is spoken"
+            )
+        self._host = split.hostname or "127.0.0.1"
+        self._port = split.port or 80
+        self._path_prefix = split.path.rstrip("/")
+        self._conn: Optional[HTTPConnection] = None
 
     # ------------------------------------------------------------------ #
     # Endpoints
     # ------------------------------------------------------------------ #
-    def health(self) -> Dict[str, object]:
+    def health(self, request_timeout: Optional[float] = None) -> Dict[str, object]:
         """``GET /healthz`` — returns the body even while draining (503)."""
         try:
-            return self._call("GET", "/healthz")  # type: ignore[return-value]
+            return self._call(  # type: ignore[return-value]
+                "GET", "/healthz", request_timeout=request_timeout
+            )
         except RemoteServiceError as exc:
             if exc.status == 503:
                 return {"status": "draining"}
@@ -82,9 +135,13 @@ class ServiceClient:
             f"(last error: {last_error})"
         )
 
-    def graphs(self) -> List[Dict[str, object]]:
+    def graphs(
+        self, request_timeout: Optional[float] = None
+    ) -> List[Dict[str, object]]:
         """``GET /v1/graphs`` — the catalog listing."""
-        return self._call("GET", "/v1/graphs")["graphs"]  # type: ignore[index]
+        return self._call(  # type: ignore[index]
+            "GET", "/v1/graphs", request_timeout=request_timeout
+        )["graphs"]
 
     def register(
         self,
@@ -96,6 +153,7 @@ class ServiceClient:
         prewarm: Optional[Sequence[Tuple[int, int]]] = None,
         replace: bool = False,
         fmt: str = "auto",
+        request_timeout: Optional[float] = None,
     ) -> Dict[str, object]:
         """``POST /v1/graphs`` — register by edges, file path or dataset name."""
         body: Dict[str, object] = {"name": name, "replace": replace, "fmt": fmt}
@@ -109,7 +167,37 @@ class ServiceClient:
             body["dataset"] = dataset
         if prewarm is not None:
             body["prewarm"] = [list(pair) for pair in prewarm]
-        return self._call("POST", "/v1/graphs", body)  # type: ignore[return-value]
+        return self._call(  # type: ignore[return-value]
+            "POST", "/v1/graphs", body, request_timeout=request_timeout
+        )
+
+    @staticmethod
+    def _solve_body(
+        graph: str,
+        k: int,
+        q: int,
+        solver: Optional[str],
+        variant: Optional[str],
+        config: Optional[Dict[str, object]],
+        timeout: Optional[float],
+        max_results: Optional[int],
+        query: Optional[Sequence[object]],
+        options: Optional[Dict[str, object]],
+    ) -> Dict[str, object]:
+        body: Dict[str, object] = {"graph": graph, "k": k, "q": q}
+        for key, value in (
+            ("solver", solver),
+            ("variant", variant),
+            ("config", config),
+            ("timeout", timeout),
+            ("max_results", max_results),
+            ("options", options),
+        ):
+            if value is not None:
+                body[key] = value
+        if query is not None:
+            body["query"] = list(query)
+        return body
 
     def solve(
         self,
@@ -124,77 +212,288 @@ class ServiceClient:
         query: Optional[Sequence[object]] = None,
         options: Optional[Dict[str, object]] = None,
         include_results: bool = True,
+        request_timeout: Optional[float] = None,
     ) -> Dict[str, object]:
-        """``POST /v1/solve`` — one enumeration over a registered graph."""
-        body: Dict[str, object] = {
-            "graph": graph,
-            "k": k,
-            "q": q,
-            "include_results": include_results,
-        }
-        for key, value in (
-            ("solver", solver),
-            ("variant", variant),
-            ("config", config),
-            ("timeout", timeout),
-            ("max_results", max_results),
-            ("options", options),
-        ):
-            if value is not None:
-                body[key] = value
-        if query is not None:
-            body["query"] = list(query)
-        return self._call("POST", "/v1/solve", body)  # type: ignore[return-value]
+        """``POST /v1/solve`` — one synchronous enumeration.
 
-    def metrics(self, fmt: Optional[str] = None) -> Union[Dict[str, object], str]:
+        ``timeout`` is the *solver's* budget (enforced server-side);
+        ``request_timeout`` is this call's socket timeout.
+        """
+        body = self._solve_body(
+            graph, k, q, solver, variant, config, timeout, max_results,
+            query, options,
+        )
+        body["include_results"] = include_results
+        return self._call(  # type: ignore[return-value]
+            "POST", "/v1/solve", body, request_timeout=request_timeout
+        )
+
+    def metrics(
+        self, fmt: Optional[str] = None, request_timeout: Optional[float] = None
+    ) -> Union[Dict[str, object], str]:
         """``GET /v1/metrics`` — JSON dict, or text with ``fmt="prometheus"``."""
         suffix = f"?format={fmt}" if fmt else ""
-        return self._call("GET", f"/v1/metrics{suffix}")
+        return self._call(
+            "GET", f"/v1/metrics{suffix}", request_timeout=request_timeout
+        )
 
-    def snapshot(self, path: Optional[str] = None) -> Dict[str, object]:
+    def snapshot(
+        self, path: Optional[str] = None, request_timeout: Optional[float] = None
+    ) -> Dict[str, object]:
         """``POST /v1/snapshot`` — force a warm-state snapshot now."""
         body = {"path": path} if path else None
-        return self._call("POST", "/v1/snapshot", body)  # type: ignore[return-value]
+        return self._call(  # type: ignore[return-value]
+            "POST", "/v1/snapshot", body, request_timeout=request_timeout
+        )
+
+    # ------------------------------------------------------------------ #
+    # Async jobs
+    # ------------------------------------------------------------------ #
+    def submit_job(
+        self,
+        graph: str,
+        k: int,
+        q: int,
+        solver: Optional[str] = None,
+        variant: Optional[str] = None,
+        config: Optional[Dict[str, object]] = None,
+        timeout: Optional[float] = None,
+        max_results: Optional[int] = None,
+        query: Optional[Sequence[object]] = None,
+        options: Optional[Dict[str, object]] = None,
+        result_buffer: Optional[int] = None,
+        ttl: Optional[float] = None,
+        request_timeout: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """``POST /v1/jobs`` — submit asynchronously; returns the job record.
+
+        The record's ``id`` drives :meth:`job`, :meth:`cancel_job` and
+        :meth:`iter_job_results`.  ``result_buffer`` / ``ttl`` override the
+        server's per-job buffering bound and retention for this job.
+        """
+        body = self._solve_body(
+            graph, k, q, solver, variant, config, timeout, max_results,
+            query, options,
+        )
+        if result_buffer is not None:
+            body["result_buffer"] = result_buffer
+        if ttl is not None:
+            body["ttl"] = ttl
+        return self._call(  # type: ignore[return-value]
+            "POST", "/v1/jobs", body, request_timeout=request_timeout
+        )
+
+    def job(
+        self, job_id: str, request_timeout: Optional[float] = None
+    ) -> Dict[str, object]:
+        """``GET /v1/jobs/<id>`` — poll one job's state and progress."""
+        return self._call(  # type: ignore[return-value]
+            "GET", f"/v1/jobs/{job_id}", request_timeout=request_timeout
+        )
+
+    def jobs(
+        self,
+        states: Optional[Sequence[str]] = None,
+        request_timeout: Optional[float] = None,
+    ) -> List[Dict[str, object]]:
+        """``GET /v1/jobs`` — list job records, optionally state-filtered."""
+        suffix = f"?state={','.join(states)}" if states else ""
+        return self._call(  # type: ignore[index]
+            "GET", f"/v1/jobs{suffix}", request_timeout=request_timeout
+        )["jobs"]
+
+    def cancel_job(
+        self, job_id: str, request_timeout: Optional[float] = None
+    ) -> Dict[str, object]:
+        """``DELETE /v1/jobs/<id>`` — cancel; cooperative for running jobs."""
+        return self._call(  # type: ignore[return-value]
+            "DELETE", f"/v1/jobs/{job_id}", request_timeout=request_timeout
+        )
+
+    def wait_job(
+        self,
+        job_id: str,
+        timeout: float = 60.0,
+        interval: float = 0.02,
+    ) -> Dict[str, object]:
+        """Poll :meth:`job` until the job is terminal; returns the record."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in TERMINAL_STATES:
+                return record
+            if time.monotonic() >= deadline:
+                raise RemoteServiceError(
+                    f"job {job_id} still {record['state']} after {timeout}s"
+                )
+            time.sleep(interval)
+
+    def job_results(
+        self,
+        job_id: str,
+        start: int = 0,
+        request_timeout: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """``GET /v1/jobs/<id>/results`` — the buffered window, one shot.
+
+        ``start`` in the response may exceed the requested one when older
+        results were evicted from the job's bounded buffer.
+        """
+        return self._call(  # type: ignore[return-value]
+            "GET",
+            f"/v1/jobs/{job_id}/results?start={start}",
+            request_timeout=request_timeout,
+        )
+
+    def iter_job_results(
+        self,
+        job_id: str,
+        start: int = 0,
+        heartbeat: Optional[float] = None,
+        include_heartbeats: bool = False,
+        request_timeout: Optional[float] = None,
+    ) -> Iterator[Dict[str, object]]:
+        """``GET /v1/jobs/<id>/results?stream=1`` — records as they arrive.
+
+        Yields each NDJSON record (result lines, then exactly one final
+        ``{"done": ...}`` record carrying the job's terminal state — or a
+        ``{"done": false, "error": ...}`` record if the read window was
+        truncated).  Heartbeat lines are skipped unless
+        ``include_heartbeats`` is set.  The stream uses its own dedicated
+        connection, so it composes with a keep-alive client.
+
+        The consumer's pace is the producer's pace: reading slowly
+        throttles the server-side enumeration (bounded-buffer
+        backpressure) instead of buffering unboundedly.
+        """
+        route = f"/v1/jobs/{job_id}/results?stream=1&start={start}"
+        if heartbeat is not None:
+            route += f"&heartbeat={heartbeat}"
+        conn = HTTPConnection(
+            self._host,
+            self._port,
+            timeout=request_timeout if request_timeout is not None else self.timeout,
+        )
+        try:
+            conn.request("GET", self._path_prefix + route)
+            response = conn.getresponse()
+            if response.status >= 400:
+                raise self._to_exception(
+                    response.status, response.reason, response.read()
+                )
+            for line in response:
+                if not line.strip():
+                    continue
+                record = json.loads(line)
+                if record.get("heartbeat") and not include_heartbeats:
+                    continue
+                yield record
+                if "done" in record:
+                    return
+        except OSError as exc:
+            raise RemoteServiceError(
+                f"stream from {self.base_url} failed: {exc}"
+            ) from exc
+        finally:
+            conn.close()
 
     # ------------------------------------------------------------------ #
     # Transport
     # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Close the keep-alive connection (a later call reopens one)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
     def _call(
         self,
         method: str,
         route: str,
         body: Optional[Dict[str, object]] = None,
+        request_timeout: Optional[float] = None,
     ) -> Union[Dict[str, object], List[object], str]:
         data = json.dumps(body).encode("utf-8") if body is not None else None
-        request = urllib.request.Request(
-            f"{self.base_url}{route}",
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"} if data else {},
-        )
+        headers = {"Content-Type": "application/json"} if data else {}
+        timeout = request_timeout if request_timeout is not None else self.timeout
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return self._decode(response.read(), response.headers.get_content_type())
-        except urllib.error.HTTPError as exc:
-            raise self._to_exception(exc) from None
-        except urllib.error.URLError as exc:
+            status, reason, content_type, raw = self._request(
+                method, self._path_prefix + route, data, headers, timeout
+            )
+        except OSError as exc:
             raise RemoteServiceError(
-                f"cannot reach {self.base_url}: {exc.reason}"
+                f"cannot reach {self.base_url}: {exc}"
             ) from exc
+        if status >= 400:
+            raise self._to_exception(status, reason, raw)
+        return self._decode(raw, content_type)
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        data: Optional[bytes],
+        headers: Dict[str, str],
+        timeout: float,
+    ) -> Tuple[int, str, str, bytes]:
+        if not self.keep_alive:
+            conn = HTTPConnection(self._host, self._port, timeout=timeout)
+            try:
+                return self._roundtrip(conn, method, path, data, headers)
+            finally:
+                conn.close()
+        # Keep-alive: reuse one connection, reconnecting once when the
+        # server closed it between requests (idle timeout, restart).
+        for attempt in (0, 1):
+            try:
+                if self._conn is None:
+                    self._conn = HTTPConnection(
+                        self._host, self._port, timeout=timeout
+                    )
+                else:
+                    self._conn.timeout = timeout
+                    if self._conn.sock is not None:
+                        self._conn.sock.settimeout(timeout)
+                return self._roundtrip(self._conn, method, path, data, headers)
+            except TimeoutError:
+                # A mid-request timeout leaves the connection unusable but
+                # is a real per-request failure, never a stale socket.
+                self.close()
+                raise
+            except _STALE_CONNECTION_ERRORS + (OSError,):
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
 
     @staticmethod
-    def _decode(raw: bytes, content_type: str) -> Union[Dict[str, object], List[object], str]:
+    def _roundtrip(
+        conn: HTTPConnection,
+        method: str,
+        path: str,
+        data: Optional[bytes],
+        headers: Dict[str, str],
+    ) -> Tuple[int, str, str, bytes]:
+        conn.request(method, path, body=data, headers=headers)
+        response: HTTPResponse = conn.getresponse()
+        raw = response.read()  # fully drain so the connection is reusable
+        content_type = (response.headers.get_content_type() or "").lower()
+        return response.status, response.reason, content_type, raw
+
+    @staticmethod
+    def _decode(
+        raw: bytes, content_type: str
+    ) -> Union[Dict[str, object], List[object], str]:
         text = raw.decode("utf-8")
         if content_type == "application/json":
             return json.loads(text)
         return text
 
     @staticmethod
-    def _to_exception(exc: urllib.error.HTTPError) -> Exception:
-        status = exc.code
-        kind, message = "", f"HTTP {status}: {exc.reason}"
+    def _to_exception(status: int, reason: str, raw: bytes) -> Exception:
+        kind, message = "", f"HTTP {status}: {reason}"
         try:
-            error = json.loads(exc.read().decode("utf-8")).get("error", {})
+            error = json.loads(raw.decode("utf-8")).get("error", {})
             kind = error.get("type", "")
             message = error.get("message", message)
         except (ValueError, OSError):
@@ -208,4 +507,4 @@ class ServiceClient:
         return self
 
     def __exit__(self, *_exc_info: object) -> None:
-        return None
+        self.close()

@@ -4,23 +4,37 @@ One :class:`KPlexRequestHandler` instance handles one connection of the
 :class:`~repro.server.app.KPlexHTTPServer`.  The wire contract is plain
 JSON over HTTP/1.1 (stdlib only, no framework):
 
-=========  ==========================  ==========================================
-Method     Path                        Meaning
-=========  ==========================  ==========================================
-``GET``    ``/healthz``                liveness (``503`` while draining)
-``GET``    ``/v1/graphs``              catalog listing
-``POST``   ``/v1/graphs``              register a graph (edges / path / dataset)
-``POST``   ``/v1/solve``               run one enumeration request
-``GET``    ``/v1/metrics``             service metrics (``?format=prometheus``)
-``POST``   ``/v1/snapshot``            write a warm-state snapshot now
-=========  ==========================  ==========================================
+=========  ===========================  =========================================
+Method     Path                         Meaning
+=========  ===========================  =========================================
+``GET``    ``/healthz``                 liveness (``503`` while draining)
+``GET``    ``/v1/graphs``               catalog listing
+``POST``   ``/v1/graphs``               register a graph (edges / path / dataset)
+``POST``   ``/v1/solve``                run one enumeration request synchronously
+``GET``    ``/v1/metrics``              service metrics (``?format=prometheus``)
+``POST``   ``/v1/snapshot``             write a warm-state snapshot now
+``POST``   ``/v1/jobs``                 submit an async job (``202`` + job id)
+``GET``    ``/v1/jobs``                 list jobs (``?state=`` filters)
+``GET``    ``/v1/jobs/<id>``            poll one job's state and progress
+``DELETE`` ``/v1/jobs/<id>``            cancel a job (cooperative)
+``GET``    ``/v1/jobs/<id>/results``    buffered results; ``?stream=1`` streams
+                                        NDJSON over chunked transfer encoding
+=========  ===========================  =========================================
 
 Every error is a structured body ``{"error": {"type", "message", "status"}}``
 so clients can map failures back to the library's exception types:
-overload maps to ``429`` (with a ``Retry-After`` hint), a draining or
-closed service to ``503``, an exceeded server-side hard deadline to
-``504``, unknown catalog names to ``404``, duplicate registrations to
-``409`` and every validation problem to ``400``.
+overload (including a full job queue) maps to ``429`` (with a
+``Retry-After`` hint), a draining or closed service to ``503``, an
+exceeded server-side hard deadline to ``504``, unknown catalog names and
+job ids to ``404``, duplicate registrations and invalid job-state
+transitions to ``409``, results evicted from a job's bounded buffer to
+``410`` and every validation problem to ``400``.
+
+The streaming route is the one place the server holds a connection open:
+results are written as one NDJSON line per chunk while the enumeration
+runs, a heartbeat line keeps idle streams alive, and the final line is a
+``{"done": true, ...}`` record carrying the job's terminal state — so a
+client always knows whether the stream ended or was cut.
 """
 
 from __future__ import annotations
@@ -35,12 +49,17 @@ from .. import __version__
 from ..core.config import EnumerationConfig
 from ..errors import (
     CatalogError,
+    JobError,
+    JobNotFoundError,
+    JobResultsTruncatedError,
+    JobStateError,
     ParameterError,
     ReproError,
     ServiceClosedError,
     ServiceOverloadError,
     SnapshotError,
 )
+from ..jobs import READ_END, READ_ITEM
 from .persistence import save_snapshot
 
 #: Largest accepted request body; registering a graph inline dominates.
@@ -59,9 +78,19 @@ class _HTTPFail(Exception):
 def _classify(exc: Exception) -> Tuple[int, str]:
     """Map a library exception to an HTTP status and error-type label."""
     if isinstance(exc, ServiceOverloadError):
-        return 429, "ServiceOverloadError"
+        # Includes JobQueueFullError: a full job table is the same
+        # load-shedding signal as a full sync queue.
+        return 429, type(exc).__name__
     if isinstance(exc, ServiceClosedError):
         return 503, "ServiceClosedError"
+    if isinstance(exc, JobNotFoundError):
+        return 404, "JobNotFoundError"
+    if isinstance(exc, JobStateError):
+        return 409, "JobStateError"
+    if isinstance(exc, JobResultsTruncatedError):
+        return 410, "JobResultsTruncatedError"
+    if isinstance(exc, JobError):
+        return 400, type(exc).__name__
     if isinstance(exc, CatalogError):
         text = str(exc)
         if "unknown catalog graph" in text:
@@ -96,6 +125,7 @@ class KPlexRequestHandler(BaseHTTPRequestHandler):
                 "/healthz": self._get_health,
                 "/v1/graphs": self._get_graphs,
                 "/v1/metrics": self._get_metrics,
+                "/v1/jobs": self._get_jobs,
             }
         )
 
@@ -105,15 +135,48 @@ class KPlexRequestHandler(BaseHTTPRequestHandler):
                 "/v1/solve": self._post_solve,
                 "/v1/graphs": self._post_graphs,
                 "/v1/snapshot": self._post_snapshot,
+                "/v1/jobs": self._post_jobs,
             }
         )
+
+    def do_DELETE(self) -> None:  # noqa: N802 (stdlib naming)
+        self._dispatch({})
+
+    def _job_route(self, path: str):
+        """Resolve ``/v1/jobs/<id>[/results]`` to a bound sub-handler.
+
+        Returns ``None`` for paths outside the jobs subtree so the exact
+        routes keep their 404/405 behaviour.
+        """
+        parts = path.rstrip("/").split("/")
+        if parts[:3] != ["", "v1", "jobs"] or len(parts) < 4 or not parts[3]:
+            return None
+        job_id = parts[3]
+        if len(parts) == 4:
+            by_method = {
+                "GET": self._get_job,
+                "DELETE": self._delete_job,
+            }
+        elif len(parts) == 5 and parts[4] == "results":
+            by_method = {"GET": self._get_job_results}
+        else:
+            raise _HTTPFail(404, "NotFound", f"no route for {path}")
+        handler = by_method.get(self.command)
+        if handler is None:
+            raise _HTTPFail(
+                405, "MethodNotAllowed", f"{self.command} not allowed on {path}"
+            )
+        return lambda query: handler(query, job_id)
 
     def _dispatch(self, routes: Dict[str, object]) -> None:
         parsed = urlparse(self.path)
         handler = routes.get(parsed.path)
         try:
             if handler is None:
-                known = {"/healthz", "/v1/graphs", "/v1/metrics", "/v1/solve", "/v1/snapshot"}
+                handler = self._job_route(parsed.path)
+            if handler is None:
+                known = {"/healthz", "/v1/graphs", "/v1/metrics", "/v1/solve",
+                         "/v1/snapshot", "/v1/jobs"}
                 if parsed.path in known:
                     raise _HTTPFail(
                         405, "MethodNotAllowed", f"{self.command} not allowed on {parsed.path}"
@@ -150,20 +213,31 @@ class KPlexRequestHandler(BaseHTTPRequestHandler):
     def _get_metrics(self, query: Dict[str, list]) -> None:
         service = self.server.service  # type: ignore[attr-defined]
         fmt = (query.get("format") or ["json"])[0].lower()
+        metrics = service.metrics()
+        jobs = getattr(self.server, "jobs", None)
+        if jobs is not None:
+            metrics["jobs"] = jobs.metrics()
         if fmt == "prometheus":
-            self._send_text(200, service.metrics_prometheus_text())
+            from ..service.service import render_prometheus
+
+            self._send_text(200, render_prometheus(metrics))
         elif fmt == "json":
-            self._send_json(200, service.metrics())
+            self._send_json(200, metrics)
         else:
             raise _HTTPFail(400, "BadRequest", f"unknown metrics format {fmt!r}")
 
-    def _post_solve(self, _query: Dict[str, list]) -> None:
+    def _parse_enum_spec(
+        self, body: Dict[str, object]
+    ) -> Tuple[str, int, int, Dict[str, object]]:
+        """Pop the shared enumeration keys of ``/v1/solve`` and ``/v1/jobs``.
+
+        Returns ``(graph_name, k, q, request_kwargs)``; leftover-key
+        validation stays with the caller, which pops its own extras first.
+        """
         service = self.server.service  # type: ignore[attr-defined]
-        body = self._read_json_body()
         name = self._require(body, "graph", str)
         k = self._require(body, "k", int)
         q = self._require(body, "q", int)
-        include_results = body.pop("include_results", True)
         kwargs: Dict[str, object] = {}
         if body.get("solver") is not None:
             kwargs["solver"] = self._expect(body, "solver", str)
@@ -195,6 +269,13 @@ class KPlexRequestHandler(BaseHTTPRequestHandler):
         for key in ("graph", "k", "q", "solver", "variant", "config", "timeout",
                     "max_results", "sort_results", "options", "query"):
             body.pop(key, None)
+        return name, k, q, kwargs
+
+    def _post_solve(self, _query: Dict[str, list]) -> None:
+        service = self.server.service  # type: ignore[attr-defined]
+        body = self._read_json_body()
+        include_results = body.pop("include_results", True)
+        name, k, q, kwargs = self._parse_enum_spec(body)
         if body:
             raise _HTTPFail(
                 400, "BadRequest", f"unknown request keys {sorted(body)}"
@@ -274,6 +355,174 @@ class KPlexRequestHandler(BaseHTTPRequestHandler):
                 "seed_specs": len(snapshot["seed_specs"]),
             },
         )
+
+    # ------------------------------------------------------------------ #
+    # Async jobs
+    # ------------------------------------------------------------------ #
+    def _jobs_manager(self):
+        jobs = getattr(self.server, "jobs", None)
+        if jobs is None:
+            raise _HTTPFail(
+                503, "ServiceClosedError", "this server has no job manager"
+            )
+        return jobs
+
+    def _post_jobs(self, _query: Dict[str, list]) -> None:
+        jobs = self._jobs_manager()
+        if self.server.draining:  # type: ignore[attr-defined]
+            raise _HTTPFail(
+                503, "ServiceClosedError", "server is draining; no new jobs"
+            )
+        body = self._read_json_body()
+        result_buffer = None
+        if body.get("result_buffer") is not None:
+            result_buffer = self._expect(body, "result_buffer", int)
+        ttl_seconds = None
+        if body.get("ttl") is not None:
+            ttl_seconds = self._expect(body, "ttl", (int, float))
+        body.pop("result_buffer", None)
+        body.pop("ttl", None)
+        name, k, q, kwargs = self._parse_enum_spec(body)
+        if body:
+            raise _HTTPFail(
+                400, "BadRequest", f"unknown request keys {sorted(body)}"
+            )
+        job = jobs.submit(
+            name,
+            k,
+            q,
+            result_buffer=result_buffer,
+            ttl_seconds=ttl_seconds,
+            **kwargs,
+        )
+        self._send_json(202, job.describe())
+
+    def _get_jobs(self, query: Dict[str, list]) -> None:
+        jobs = self._jobs_manager()
+        states = None
+        raw = query.get("state") or []
+        if raw:
+            states = [
+                state.strip().lower()
+                for chunk in raw
+                for state in chunk.split(",")
+                if state.strip()
+            ]
+        records = [job.describe() for job in jobs.jobs(states=states)]
+        self._send_json(200, {"jobs": records, "count": len(records)})
+
+    def _get_job(self, _query: Dict[str, list], job_id: str) -> None:
+        self._send_json(200, self._jobs_manager().get(job_id).describe())
+
+    def _delete_job(self, _query: Dict[str, list], job_id: str) -> None:
+        jobs = self._jobs_manager()
+        cancelled = jobs.cancel(job_id)
+        job = jobs.get(job_id)
+        self._send_json(
+            200, {"id": job_id, "cancelled": cancelled, "state": job.state}
+        )
+
+    def _get_job_results(self, query: Dict[str, list], job_id: str) -> None:
+        jobs = self._jobs_manager()
+        job = jobs.get(job_id)
+        start = 0
+        if query.get("start"):
+            try:
+                start = int(query["start"][0])
+            except ValueError as exc:
+                raise _HTTPFail(400, "BadRequest", "'start' must be an integer") from exc
+            if start < 0:
+                raise _HTTPFail(400, "BadRequest", "'start' must be >= 0")
+        stream = (query.get("stream") or ["0"])[0].lower() in ("1", "true", "yes")
+        if stream:
+            heartbeat = 15.0
+            if query.get("heartbeat"):
+                try:
+                    heartbeat = float(query["heartbeat"][0])
+                except ValueError as exc:
+                    raise _HTTPFail(
+                        400, "BadRequest", "'heartbeat' must be a number"
+                    ) from exc
+                if heartbeat <= 0:
+                    raise _HTTPFail(400, "BadRequest", "'heartbeat' must be > 0")
+            self._stream_job_results(job, start, heartbeat)
+            return
+        # ``first > start`` tells the client its window was truncated out
+        # of the bounded buffer (re-read from ``first``).
+        first, entries, closed = job.results.snapshot(start)
+        self._send_json(
+            200,
+            {
+                "job": job.id,
+                "state": job.state,
+                "start": first,
+                "results": entries,
+                "complete": closed,
+                "dropped": job.results.dropped,
+            },
+        )
+
+    def _stream_job_results(self, job, start: int, heartbeat: float) -> None:
+        """Stream a job's results as NDJSON over chunked transfer encoding.
+
+        One result per line, written as it is produced; the reader cursor
+        participates in the job's backpressure, so a slow consumer pauses
+        the solver instead of growing the buffer.  Heartbeat lines keep
+        idle connections distinguishable from dead ones.  The last line is
+        always a ``done`` record (or a truncation error record), after
+        which the terminating zero-length chunk closes the stream.
+        """
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        reader = job.results.attach(start)
+        truncated: Optional[str] = None
+        try:
+            while True:
+                try:
+                    kind, _index, item = job.results.read(reader, timeout=heartbeat)
+                except JobResultsTruncatedError as exc:
+                    truncated = str(exc)
+                    break
+                if kind == READ_END:
+                    break
+                if kind == READ_ITEM:
+                    self._write_ndjson_chunk(item)
+                else:  # READ_TIMEOUT -> heartbeat keeps the connection alive
+                    self._write_ndjson_chunk(
+                        {"heartbeat": True, "job": job.id, "state": job.state}
+                    )
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+            return  # client went away; detach below unblocks the producer
+        finally:
+            job.results.detach(reader)
+        try:
+            if truncated is not None:
+                self._write_ndjson_chunk(
+                    {
+                        "done": False,
+                        "job": job.id,
+                        "state": job.state,
+                        "error": {
+                            "type": "JobResultsTruncatedError",
+                            "message": truncated,
+                        },
+                    }
+                )
+            else:
+                self._write_ndjson_chunk(job.final_record())
+            self.wfile.write(b"0\r\n\r\n")
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            self.close_connection = True
+
+    def _write_ndjson_chunk(self, record: Dict[str, object]) -> None:
+        payload = json.dumps(record, default=str).encode("utf-8") + b"\n"
+        self.wfile.write(f"{len(payload):x}\r\n".encode("ascii"))
+        self.wfile.write(payload)
+        self.wfile.write(b"\r\n")
 
     # ------------------------------------------------------------------ #
     # Body / response plumbing

@@ -199,6 +199,7 @@ def save_snapshot(
     service: KPlexService,
     path: Union[str, os.PathLike],
     max_requests: Optional[int] = None,
+    extra: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """Snapshot ``service`` and write it to ``path`` atomically.
 
@@ -206,8 +207,20 @@ def save_snapshot(
     directory and published with ``os.replace``: concurrent writers (the
     periodic thread, a drain, ``POST /v1/snapshot``) each stage their own
     file, so the published snapshot is always one writer's complete output.
+
+    ``extra`` keys are merged into the document (the server uses this to
+    record its job-table summary at drain time); they may not shadow the
+    snapshot's own keys and are ignored by :func:`load_snapshot`, which
+    only validates the core fields.
     """
     snapshot = snapshot_service(service, max_requests=max_requests)
+    if extra:
+        collisions = set(extra) & set(snapshot)
+        if collisions:
+            raise SnapshotError(
+                f"extra snapshot keys shadow core fields: {sorted(collisions)}"
+            )
+        snapshot.update(extra)
     path = os.fspath(path)
     directory = os.path.dirname(os.path.abspath(path))
     tmp_path = None

@@ -30,9 +30,9 @@ import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Union
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Union
 
-from ..api.engine import KPlexEngine
+from ..api.engine import CancellationToken, KPlexEngine
 from ..api.request import EnumerationRequest
 from ..api.response import (
     TERMINATION_COMPLETED,
@@ -178,6 +178,7 @@ class ServiceMetrics:
         self.completed = 0
         self.errors = 0
         self.in_flight = 0
+        self.running = 0
         self.cache_hits = 0
         self.cache_misses = 0
         self.coalesced = 0
@@ -188,6 +189,11 @@ class ServiceMetrics:
         with self._lock:
             self.admitted += 1
             self.in_flight += 1
+
+    def record_started(self) -> None:
+        """One admitted request left the queue and began executing."""
+        with self._lock:
+            self.running += 1
 
     def record_rejected(self) -> None:
         """One request was turned away by admission control."""
@@ -211,10 +217,18 @@ class ServiceMetrics:
         outcome: Optional[str],
         termination: Optional[str] = None,
         error: bool = False,
+        started: bool = True,
     ) -> None:
-        """One admitted request finished (successfully or not)."""
+        """One admitted request finished (successfully or not).
+
+        ``started=False`` settles a request that never reached
+        :meth:`record_started` (e.g. a failed pool submission), so the
+        ``running`` gauge stays balanced.
+        """
         with self._lock:
             self.in_flight -= 1
+            if started:
+                self.running -= 1
             self._latencies.append(latency_seconds)
             if error:
                 self.errors += 1
@@ -241,6 +255,10 @@ class ServiceMetrics:
                 "completed": self.completed,
                 "errors": self.errors,
                 "in_flight": self.in_flight,
+                "running": self.running,
+                # Admission pressure before 429s start: admitted requests
+                # still waiting for a worker.
+                "queued": max(0, self.in_flight - self.running),
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
                 "coalesced": self.coalesced,
@@ -390,7 +408,7 @@ class KPlexService:
         except BaseException:
             with self._admission_lock:
                 self._outstanding -= 1
-            self._metrics.record_outcome(0.0, None, error=True)
+            self._metrics.record_outcome(0.0, None, error=True, started=False)
             raise
         future.add_done_callback(self._on_done)
         return future
@@ -441,6 +459,31 @@ class KPlexService:
             for future in done:
                 results[pending.pop(future)] = future.result()
         return results  # type: ignore[return-value]
+
+    def stream_run(
+        self,
+        request: EnumerationRequest,
+        cancel: Optional["CancellationToken"] = None,
+        on_progress: Optional[Callable] = None,
+    ):
+        """Stream a request through the engine with the service's policies.
+
+        Applies the service's default timeout and seed-context-cache
+        injection, then returns the engine's lazy ``(iterator, outcome)``
+        pair (see :meth:`KPlexEngine.stream_run`).  Deliberately bypasses
+        the worker pool, admission control and the result cache: the async
+        job subsystem (:mod:`repro.jobs`) carries its own concurrency and
+        queue budget, and streamed results are consumed incrementally
+        rather than materialised into a cacheable response.
+        """
+        if self._closed:
+            raise ServiceClosedError(
+                "the service is closed and no longer accepts submissions"
+            )
+        request = self._apply_defaults(request)
+        return self._engine.stream_run(
+            self._inject_seed_cache(request), cancel=cancel, on_progress=on_progress
+        )
 
     def invalidate(self, name: str) -> int:
         """Retire every cached artefact of a catalog graph; return its epoch.
@@ -567,6 +610,7 @@ class KPlexService:
 
     def _execute(self, request: EnumerationRequest) -> EnumerationResponse:
         started = time.perf_counter()
+        self._metrics.record_started()
         outcome: Optional[str] = None
         termination: Optional[str] = None
         try:

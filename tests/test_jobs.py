@@ -1,0 +1,408 @@
+"""Tests for the async job subsystem (repro.jobs): records, log, manager."""
+
+import threading
+import time
+
+import pytest
+
+from repro.api import EnumerationRequest
+from repro.errors import (
+    JobNotFoundError,
+    JobQueueFullError,
+    JobResultsTruncatedError,
+    JobStateError,
+    ParameterError,
+    ServiceClosedError,
+)
+from repro.graph import Graph, generators
+from repro.jobs import (
+    JOB_CANCELLED,
+    JOB_EXPIRED,
+    JOB_FAILED,
+    JOB_PENDING,
+    JOB_RUNNING,
+    JOB_SUCCEEDED,
+    READ_END,
+    READ_ITEM,
+    READ_TIMEOUT,
+    Job,
+    JobManager,
+    JobManagerConfig,
+    ResultLog,
+)
+from repro.service import KPlexService, ServiceConfig
+
+EDGES = [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]
+
+
+def make_manager(**config_kwargs) -> JobManager:
+    service = KPlexService(config=ServiceConfig(max_workers=2))
+    service.catalog.register("toy", EDGES)
+    service.catalog.register("busy", generators.gnm_random(60, 400, seed=5))
+    return JobManager(service, JobManagerConfig(**config_kwargs))
+
+
+def toy_request() -> EnumerationRequest:
+    return EnumerationRequest(graph=Graph.from_edges(EDGES), k=2, q=3)
+
+
+# --------------------------------------------------------------------------- #
+# ResultLog
+# --------------------------------------------------------------------------- #
+def test_result_log_drops_oldest_without_readers():
+    log = ResultLog(limit=4)
+    for i in range(10):
+        assert log.append(i)
+    assert log.buffered == 4 and log.dropped == 6
+    first, entries, closed = log.snapshot()
+    assert first == 6 and entries == [6, 7, 8, 9] and not closed
+
+
+def test_result_log_reader_sees_everything_in_order():
+    log = ResultLog(limit=None)
+    for i in range(5):
+        log.append(i)
+    log.close()
+    reader = log.attach(0)
+    seen = []
+    while True:
+        kind, index, item = log.read(reader)
+        if kind == READ_END:
+            break
+        seen.append((index, item))
+    assert seen == [(i, i) for i in range(5)]
+
+
+def test_result_log_read_timeout_reports_heartbeat_opportunity():
+    log = ResultLog(limit=4)
+    reader = log.attach(0)
+    kind, index, item = log.read(reader, timeout=0.01)
+    assert (kind, index, item) == (READ_TIMEOUT, None, None)
+    log.append("x")
+    assert log.read(reader, timeout=0.5) == (READ_ITEM, 0, "x")
+
+
+def test_result_log_backpressure_blocks_producer_for_lagging_reader():
+    log = ResultLog(limit=3)
+    reader = log.attach(0)
+    produced = []
+
+    def producer():
+        for i in range(10):
+            log.append(i, poll_seconds=0.005)
+            produced.append(i)
+
+    thread = threading.Thread(target=producer)
+    thread.start()
+    time.sleep(0.05)
+    # The buffer is full and the reader still needs entry 0: the producer
+    # must be paused with nothing dropped.
+    assert log.buffered == 3 and log.dropped == 0
+    assert len(produced) == 3
+    seen = []
+    while len(seen) < 10:
+        kind, index, item = log.read(reader, timeout=1.0)
+        assert kind == READ_ITEM
+        seen.append(item)
+    thread.join(timeout=5)
+    assert not thread.is_alive()
+    assert seen == list(range(10)) and log.dropped == 0
+
+
+def test_result_log_detach_unblocks_producer():
+    log = ResultLog(limit=2)
+    reader = log.attach(0)
+    done = threading.Event()
+
+    def producer():
+        for i in range(6):
+            log.append(i, poll_seconds=0.005)
+        done.set()
+
+    thread = threading.Thread(target=producer)
+    thread.start()
+    time.sleep(0.03)
+    assert not done.is_set()  # blocked on the lagging reader
+    log.detach(reader)
+    assert done.wait(timeout=5)
+    thread.join(timeout=5)
+    assert log.dropped == 4  # ring-dropped once nobody needed the entries
+
+
+def test_result_log_truncated_cursor_raises():
+    log = ResultLog(limit=2)
+    for i in range(5):
+        log.append(i)
+    reader = log.attach(0)
+    with pytest.raises(JobResultsTruncatedError):
+        log.read(reader, timeout=0.1)
+
+
+def test_result_log_append_honours_abort_and_close():
+    log = ResultLog(limit=2)
+    assert not log.append("x", should_abort=lambda: True)
+    log.close()
+    assert not log.append("y")
+
+
+# --------------------------------------------------------------------------- #
+# Job state machine
+# --------------------------------------------------------------------------- #
+def test_job_lifecycle_success_path():
+    job = Job("j1", toy_request(), {"k": 2, "q": 3})
+    assert job.state == JOB_PENDING and not job.terminal
+    assert job.try_start()
+    assert job.state == JOB_RUNNING and job.started_at is not None
+    job.note_result()
+    job.finish(JOB_SUCCEEDED, termination="completed", elapsed_seconds=0.1)
+    assert job.terminal and job.finished_at is not None
+    record = job.describe()
+    assert record["state"] == JOB_SUCCEEDED
+    assert record["progress"]["results"] == 1
+    assert record["progress"]["first_result_seconds"] is not None
+    final = job.final_record()
+    assert final["done"] is True and final["count"] == 1
+
+
+def test_job_invalid_transition_raises():
+    job = Job("j1", toy_request(), {})
+    with pytest.raises(JobStateError):
+        job.finish(JOB_SUCCEEDED)
+
+
+def test_job_cancel_before_start_wins():
+    job = Job("j1", toy_request(), {})
+    assert job.cancel()
+    assert job.state == JOB_CANCELLED
+    assert not job.try_start()  # the runner observes the loss and skips it
+    assert not job.cancel()  # terminal: nothing left to cancel
+
+
+def test_job_cancel_while_running_defers_to_runner():
+    job = Job("j1", toy_request(), {})
+    assert job.try_start()
+    assert job.cancel()
+    assert job.state == JOB_RUNNING  # the runner finalises the state
+    assert job.cancel_token.cancelled
+    job.finish(JOB_CANCELLED, termination="cancelled")
+    assert job.state == JOB_CANCELLED
+
+
+def test_job_expire_clears_results():
+    job = Job("j1", toy_request(), {}, result_buffer=16)
+    job.try_start()
+    job.results.append({"index": 0})
+    job.finish(JOB_SUCCEEDED, termination="completed")
+    assert job.expire()
+    assert job.state == JOB_EXPIRED and job.results.buffered == 0
+    assert not job.expire()  # already expired
+
+
+# --------------------------------------------------------------------------- #
+# JobManager
+# --------------------------------------------------------------------------- #
+def test_manager_submit_wait_and_results_roundtrip():
+    manager = make_manager()
+    try:
+        job = manager.submit("toy", k=2, q=3)
+        assert job.state in (JOB_PENDING, JOB_RUNNING, JOB_SUCCEEDED)
+        done = manager.wait(job.id, timeout=10)
+        assert done.state == JOB_SUCCEEDED and done.termination == "completed"
+        entries = [entry for _index, entry in done.iter_results()]
+        assert [sorted(e["kplex"]) for e in entries] == [[0, 1, 2, 3]]
+        assert entries[0]["size"] == 4
+        assert done.statistics is not None and done.statistics["outputs"] == 1
+        assert manager.get(job.id) is job
+    finally:
+        manager.close()
+
+
+def test_manager_accepts_prebuilt_request_but_not_both():
+    manager = make_manager()
+    try:
+        job = manager.submit(toy_request())
+        assert manager.wait(job.id, timeout=10).state == JOB_SUCCEEDED
+        with pytest.raises(ParameterError):
+            manager.submit(toy_request(), k=2)
+    finally:
+        manager.close()
+
+
+def test_manager_queue_budget_rejects_beyond_capacity():
+    manager = make_manager(max_concurrent=1, max_queue_depth=1)
+    try:
+        jobs = [manager.submit("busy", k=2, q=4) for _ in range(2)]
+        with pytest.raises(JobQueueFullError):
+            manager.submit("busy", k=2, q=4)
+        assert manager.metrics()["rejected"] == 1
+        for job in jobs:
+            manager.cancel(job.id)
+            manager.wait(job.id, timeout=10)
+    finally:
+        manager.close()
+
+
+def test_manager_cancel_running_job_stops_solver_progress():
+    manager = make_manager(max_concurrent=1)
+    try:
+        job = manager.submit("busy", k=2, q=4)
+        deadline = time.monotonic() + 5
+        while job.result_count == 0 and time.monotonic() < deadline:
+            time.sleep(0.002)
+        assert job.result_count > 0, "job never produced a result"
+        assert manager.cancel(job.id)
+        done = manager.wait(job.id, timeout=10)
+        assert done.state == JOB_CANCELLED and done.termination == "cancelled"
+        frozen = done.result_count
+        time.sleep(0.1)
+        assert done.result_count == frozen  # solver work actually stopped
+        final = done.final_record()
+        assert final["state"] == JOB_CANCELLED and final["done"] is True
+    finally:
+        manager.close()
+
+
+def test_manager_failed_job_captures_error():
+    manager = make_manager()
+    try:
+        # q=2 violates the q >= 2k - 1 bound, failing inside the runner.
+        job = manager.submit("toy", k=2, q=2)
+        done = manager.wait(job.id, timeout=10)
+        assert done.state == JOB_FAILED
+        assert "ParameterError" in done.error
+        assert manager.metrics()["failed"] == 1
+    finally:
+        manager.close()
+
+
+def test_manager_unknown_job_raises():
+    manager = make_manager()
+    try:
+        with pytest.raises(JobNotFoundError):
+            manager.get("nope")
+        with pytest.raises(JobNotFoundError):
+            manager.cancel("nope")
+    finally:
+        manager.close()
+
+
+def test_manager_list_filters_by_state_and_validates():
+    manager = make_manager()
+    try:
+        job = manager.submit("toy", k=2, q=3)
+        manager.wait(job.id, timeout=10)
+        assert [j.id for j in manager.jobs(states=[JOB_SUCCEEDED])] == [job.id]
+        assert manager.jobs(states=[JOB_FAILED]) == []
+        with pytest.raises(ParameterError):
+            manager.jobs(states=["bogus"])
+    finally:
+        manager.close()
+
+
+def test_manager_ttl_expires_terminal_jobs():
+    clock = [0.0]
+    service = KPlexService(config=ServiceConfig(max_workers=2))
+    service.catalog.register("toy", EDGES)
+    manager = JobManager(
+        service,
+        JobManagerConfig(ttl_seconds=10.0),
+        clock=lambda: clock[0],
+    )
+    try:
+        job = manager.submit("toy", k=2, q=3)
+        manager.wait(job.id, timeout=10)
+        assert job.state == JOB_SUCCEEDED
+        clock[0] += 5.0
+        assert manager.gc() == 0 and job.state == JOB_SUCCEEDED
+        clock[0] += 6.0
+        assert manager.gc() == 1
+        assert job.state == JOB_EXPIRED and job.results.buffered == 0
+        # The record itself is still pollable after expiry.
+        assert manager.get(job.id).describe()["state"] == JOB_EXPIRED
+    finally:
+        manager.close()
+
+
+def test_manager_retention_cap_evicts_oldest_terminal_jobs():
+    manager = make_manager(max_concurrent=2, max_queue_depth=2, max_jobs=4)
+    try:
+        ids = []
+        for _ in range(6):
+            job = manager.submit("toy", k=2, q=3)
+            manager.wait(job.id, timeout=10)
+            ids.append(job.id)
+        assert len(manager.jobs()) <= 4
+        assert manager.metrics()["evicted"] >= 2
+        with pytest.raises(JobNotFoundError):
+            manager.get(ids[0])  # the oldest record was evicted
+        manager.get(ids[-1])  # the newest survives
+    finally:
+        manager.close()
+
+
+def test_manager_metrics_shape_and_ttfr_percentiles():
+    manager = make_manager()
+    try:
+        for _ in range(3):
+            job = manager.submit("toy", k=2, q=3)
+            manager.wait(job.id, timeout=10)
+        metrics = manager.metrics()
+        assert metrics["submitted"] == 3 and metrics["succeeded"] == 3
+        assert metrics["by_state"][JOB_SUCCEEDED] == 3
+        assert metrics["queue_depth"] == 0 and metrics["running"] == 0
+        assert metrics["ttfr_samples"] == 3
+        assert metrics["time_to_first_result_p50_seconds"] > 0
+        assert (
+            metrics["time_to_first_result_p95_seconds"]
+            >= metrics["time_to_first_result_p50_seconds"]
+        )
+    finally:
+        manager.close()
+
+
+def test_manager_close_wait_lets_jobs_finish():
+    manager = make_manager(max_concurrent=1)
+    job = manager.submit("busy", k=2, q=4)
+    manager.close(policy="wait")
+    assert job.state == JOB_SUCCEEDED
+    with pytest.raises(ServiceClosedError):
+        manager.submit("toy", k=2, q=3)
+
+
+def test_manager_close_cancel_stops_jobs():
+    manager = make_manager(max_concurrent=1, max_queue_depth=4)
+    jobs = [manager.submit("busy", k=2, q=4) for _ in range(3)]
+    manager.close(policy="cancel")
+    assert all(job.terminal for job in jobs)
+    assert any(job.state == JOB_CANCELLED for job in jobs)
+    with pytest.raises(ParameterError):
+        manager.close(policy="bogus")
+
+
+def test_manager_results_identical_to_sync_service_run():
+    manager = make_manager()
+    try:
+        job = manager.submit("busy", k=2, q=4, result_buffer=10_000)
+        done = manager.wait(job.id, timeout=30)
+        assert done.state == JOB_SUCCEEDED
+        streamed = sorted(
+            tuple(sorted(entry["kplex"])) for _i, entry in done.iter_results()
+        )
+        response = manager.service.solve("busy", k=2, q=4)
+        direct = sorted(tuple(sorted(p.labels)) for p in response.kplexes)
+        assert streamed == direct
+    finally:
+        manager.close()
+
+
+def test_manager_config_validation():
+    with pytest.raises(ParameterError):
+        JobManagerConfig(max_concurrent=0)
+    with pytest.raises(ParameterError):
+        JobManagerConfig(max_queue_depth=-1)
+    with pytest.raises(ParameterError):
+        JobManagerConfig(result_buffer=0)
+    with pytest.raises(ParameterError):
+        JobManagerConfig(ttl_seconds=-1)
+    with pytest.raises(ParameterError):
+        JobManagerConfig(max_jobs=1, max_concurrent=2, max_queue_depth=2)

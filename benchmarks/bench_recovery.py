@@ -1,0 +1,137 @@
+"""Fault-tolerance gates: recover bit-identically at bounded overhead.
+
+Boots nothing — this bench drives the parallel executor directly, the
+layer where worker deaths actually land.  The jazz ``k=2, q=4`` workload
+(3455 maximal k-plexes) runs three ways:
+
+* **clean** — the baseline: no faults armed;
+* **recovery** — ``worker_kill:1@40`` kills one worker process mid-run
+  (after 40 seed submissions); the pool supervisor must rebuild the pool,
+  re-attach the shared-memory segment and replay only the lost seeds;
+* **poison** — ``seed_crash:0`` makes one seed crash its worker
+  deterministically; the supervisor must isolate it and fail *fast* with
+  a structured :class:`~repro.errors.PoisonTaskError`.
+
+Gates:
+
+* **bit-identical**: every recovery round returns exactly the clean
+  result set, with ``pool_recoveries >= 1`` proving the kill landed;
+* **<= 2x overhead**: median recovery wall-clock stays within 2x of the
+  clean median (plus a 250ms absolute allowance for the pool respawn, so
+  sub-second baselines do not flake the ratio);
+* **fast structured failure**: the poison run raises ``PoisonTaskError``
+  (mode ``crash``, the culprit seed attached) in under 30s — no retry
+  loop, no hung pool.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.datasets import load_dataset
+from repro.errors import PoisonTaskError
+from repro.graph import invalidate
+from repro.parallel import ParallelConfig, parallel_enumerate_maximal_kplexes
+from repro.resilience import fault_injector, resilience_stats
+
+GATE_OVERHEAD = 2.0
+OVERHEAD_ALLOWANCE_SECONDS = 0.25
+GATE_POISON_SECONDS = 30.0
+ROUNDS = 3
+DATASET = "jazz"
+K, Q = 2, 4
+KILL_SPEC = "worker_kill:1@40"
+
+
+def _config():
+    return ParallelConfig(num_workers=2, use_processes=True)
+
+
+def _run(graph):
+    started = time.perf_counter()
+    result = parallel_enumerate_maximal_kplexes(graph, K, Q, _config())
+    elapsed = time.perf_counter() - started
+    return elapsed, {p.as_set() for p in result.kplexes}, result.statistics
+
+
+def test_bench_recovery_overhead_and_fidelity(benchmark):
+    def run():
+        graph = load_dataset(DATASET)
+        invalidate(graph)
+        fault_injector().clear()
+        resilience_stats().reset()
+
+        clean_seconds = []
+        expected = None
+        for _ in range(ROUNDS):
+            elapsed, kplexes, _stats = _run(graph)
+            clean_seconds.append(elapsed)
+            expected = kplexes
+
+        recovery_seconds = []
+        recoveries = 0
+        identical = True
+        for _ in range(ROUNDS):
+            fault_injector().configure(KILL_SPEC)
+            elapsed, kplexes, stats = _run(graph)
+            fault_injector().clear()
+            recovery_seconds.append(elapsed)
+            recoveries += stats.pool_recoveries
+            identical = identical and kplexes == expected
+
+        fault_injector().configure("seed_crash:0")
+        poison_started = time.perf_counter()
+        try:
+            parallel_enumerate_maximal_kplexes(graph, K, Q, _config())
+            poison_error = None
+        except PoisonTaskError as exc:
+            poison_error = exc
+        poison_seconds = time.perf_counter() - poison_started
+        fault_injector().clear()
+
+        clean_median = statistics.median(clean_seconds)
+        recovery_median = statistics.median(recovery_seconds)
+        return {
+            "dataset": f"{DATASET} k={K} q={Q}",
+            "results": len(expected),
+            "clean_ms": round(clean_median * 1e3, 1),
+            "recovery_ms": round(recovery_median * 1e3, 1),
+            "overhead_x": round(recovery_median / clean_median, 2),
+            "recoveries": recoveries,
+            "bit_identical": identical,
+            "poison_ms": round(poison_seconds * 1e3, 1),
+            "_poison_error": poison_error,
+            "_clean_median": clean_median,
+            "_recovery_median": recovery_median,
+        }
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    poison_error = row.pop("_poison_error")
+    clean_median = row.pop("_clean_median")
+    recovery_median = row.pop("_recovery_median")
+    print()
+    print(render_table([row], title="Recovery: worker kill mid-enumeration"))
+
+    assert row["bit_identical"], "recovered run diverged from the clean result set"
+    assert row["recoveries"] >= ROUNDS, (
+        f"expected every injected round to recover a pool "
+        f"(got {row['recoveries']} recoveries over {ROUNDS} rounds)"
+    )
+    budget = GATE_OVERHEAD * clean_median + OVERHEAD_ALLOWANCE_SECONDS
+    assert recovery_median <= budget, (
+        f"recovery run took {recovery_median:.3f}s vs clean "
+        f"{clean_median:.3f}s — over the {GATE_OVERHEAD}x gate"
+    )
+    assert isinstance(poison_error, PoisonTaskError), (
+        "deterministic crasher did not surface as PoisonTaskError"
+    )
+    assert poison_error.mode == "crash" and poison_error.item == 0
+    assert row["poison_ms"] <= GATE_POISON_SECONDS * 1e3, (
+        f"poison task took {row['poison_ms']}ms to fail — retry loop suspected"
+    )
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-v"])

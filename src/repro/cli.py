@@ -331,6 +331,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="on SIGTERM, let live jobs finish ('wait', default) or stop "
              "them cooperatively ('cancel')",
     )
+    http_parser.add_argument(
+        "--breaker-threshold", type=int, default=5, metavar="N",
+        help="consecutive backend failures that open the circuit breaker "
+             "(0 disables the breaker; default: 5)",
+    )
+    http_parser.add_argument(
+        "--breaker-cooldown", type=float, default=5.0, metavar="SECONDS",
+        help="seconds the open breaker sheds load before probing again "
+             "(default: 5)",
+    )
+    http_parser.add_argument(
+        "--fault", default=None, metavar="SPEC",
+        help="arm the fault-injection harness (testing only), e.g. "
+             "'worker_kill:1' or 'seed_delay:0.1,snapshot_torn:1'; "
+             "equivalent to setting REPRO_FAULT",
+    )
 
     jobs_parser = subparsers.add_parser(
         "jobs",
@@ -342,6 +358,13 @@ def _build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--url", default="http://127.0.0.1:8080",
             help="server base URL (default: http://127.0.0.1:8080)",
+        )
+        sub.add_argument(
+            "--retries", type=int, default=0, metavar="N",
+            help="retry overloaded (429/503) responses and dropped "
+                 "connections up to N times with backoff, honouring the "
+                 "server's Retry-After; streams resume from the last "
+                 "received index (default: 0 = fail fast)",
         )
 
     submit_parser = jobs_sub.add_parser(
@@ -585,6 +608,7 @@ def _service_from_args(args: argparse.Namespace):
     from .service import KPlexService, ServiceConfig
 
     backend = getattr(args, "csr_backend", "auto")
+    threshold = getattr(args, "breaker_threshold", 5)
     config = ServiceConfig(
         max_workers=args.workers,
         max_queue_depth=args.queue_depth,
@@ -593,6 +617,8 @@ def _service_from_args(args: argparse.Namespace):
         result_cache_bytes=args.cache_bytes,
         prepared_core_budget=args.core_budget,
         csr_backend=None if backend == "auto" else backend,
+        breaker_failure_threshold=threshold if threshold > 0 else None,
+        breaker_cooldown_seconds=getattr(args, "breaker_cooldown", 5.0),
     )
     service = KPlexService(config=config)
     for registration in args.register:
@@ -620,7 +646,9 @@ def _maybe_warm_start(service, args: argparse.Namespace) -> None:
         return
     from .server import warm_start
 
-    report = warm_start(service, args.snapshot)
+    # A torn snapshot (crash mid-write) must not crash-loop the boot: it is
+    # quarantined as <file>.corrupt and the server starts cold.
+    report = warm_start(service, args.snapshot, quarantine_corrupt=True)
     print(report.summary(), file=sys.stderr)
     for error in report.errors:
         print(f"warm start: {error}", file=sys.stderr)
@@ -680,6 +708,11 @@ def _command_serve(args: argparse.Namespace) -> int:
 def _command_serve_http(args: argparse.Namespace) -> int:
     from .server import serve_http
 
+    if args.fault:
+        from .resilience import fault_injector
+
+        fault_injector().configure(args.fault)
+        print(f"fault injection armed: {args.fault}", file=sys.stderr)
     service = _service_from_args(args)
     try:
         _maybe_warm_start(service, args)
@@ -730,9 +763,11 @@ def _command_serve_http(args: argparse.Namespace) -> int:
 
 
 def _command_jobs(args: argparse.Namespace) -> int:
+    from .resilience import RetryPolicy
     from .server import ServiceClient
 
-    client = ServiceClient(args.url)
+    retry = RetryPolicy(max_attempts=args.retries + 1) if args.retries > 0 else None
+    client = ServiceClient(args.url, retry=retry)
     if args.jobs_command == "submit":
         record = client.submit_job(
             args.graph,

@@ -34,6 +34,12 @@ class SearchStatistics:
     # cache hit) vs the search proper (seed subgraphs + branch and bound).
     preprocess_seconds: float = 0.0
     search_seconds: float = 0.0
+    # Fault-tolerance events observed during a parallel run: worker pools
+    # rebuilt after a crash, seed tasks resubmitted, and whether the run
+    # finished on the in-process serial fallback (degradation ladder).
+    pool_recoveries: int = 0
+    task_retries: int = 0
+    serial_fallbacks: int = 0
     per_seed_branch_calls: Dict[int, int] = field(default_factory=dict)
 
     def record_seed(self, seed_vertex: int, subgraph_size: int) -> None:
@@ -66,6 +72,9 @@ class SearchStatistics:
         self.elapsed_seconds = max(self.elapsed_seconds, other.elapsed_seconds)
         self.preprocess_seconds = max(self.preprocess_seconds, other.preprocess_seconds)
         self.search_seconds = max(self.search_seconds, other.search_seconds)
+        self.pool_recoveries += other.pool_recoveries
+        self.task_retries += other.task_retries
+        self.serial_fallbacks += other.serial_fallbacks
         for seed, calls in other.per_seed_branch_calls.items():
             self.per_seed_branch_calls[seed] = self.per_seed_branch_calls.get(seed, 0) + calls
         return self
@@ -87,6 +96,9 @@ class SearchStatistics:
             "elapsed_seconds": self.elapsed_seconds,
             "preprocess_seconds": self.preprocess_seconds,
             "search_seconds": self.search_seconds,
+            "pool_recoveries": self.pool_recoveries,
+            "task_retries": self.task_retries,
+            "serial_fallbacks": self.serial_fallbacks,
         }
 
     def __str__(self) -> str:

@@ -25,6 +25,34 @@ class SharedMemoryError(ReproError):
     """Raised when a shared-memory graph segment cannot be created or attached."""
 
 
+class ResilienceError(ReproError):
+    """Base class for errors raised by the fault-tolerance layer (:mod:`repro.resilience`)."""
+
+
+class WorkerCrashError(ResilienceError):
+    """Raised when worker processes keep dying and the run cannot be recovered."""
+
+
+class PoisonTaskError(ResilienceError):
+    """Raised when one task deterministically crashes or fails past the retry budget.
+
+    Carries enough diagnostics to identify the task instead of looping: the
+    offending item, the number of attempts made, and the failure mode
+    (``"crash"`` for a worker death attributed to the task, ``"error"`` for a
+    repeatedly-raised exception, preserved as ``__cause__``).
+    """
+
+    def __init__(self, message: str, item=None, attempts: int = 0, mode: str = "error"):
+        super().__init__(message)
+        self.item = item
+        self.attempts = attempts
+        self.mode = mode
+
+
+class FaultInjectedError(ResilienceError):
+    """Raised by an injected ``seed_exception`` fault point (testing only)."""
+
+
 class ServiceError(ReproError):
     """Base class for errors raised by the serving layer (:mod:`repro.service`)."""
 
@@ -39,6 +67,18 @@ class ServiceOverloadError(ServiceError):
 
 class ServiceClosedError(ServiceError):
     """Raised when a request reaches a service that is draining or closed."""
+
+
+class CircuitOpenError(ServiceError):
+    """Raised when the circuit breaker is open and the service sheds load.
+
+    ``retry_after`` is the breaker's remaining cooldown in seconds, surfaced
+    over HTTP as a 503 with a ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class SnapshotError(ServiceError):

@@ -201,12 +201,21 @@ class JobManager:
         spec = coerced.describe()
         if graph_name is not None:
             spec["graph"] = graph_name
+        # Shed load while the backend is unhealthy instead of queueing doomed
+        # work: the service's circuit breaker gates job admission too (the
+        # job that passes in the half-open state is the probe — its outcome
+        # is recorded in _run).
+        self.service.check_breaker()
         capacity = self.config.max_concurrent + self.config.max_queue_depth
         with self._lock:
             self._gc_locked()
             live = sum(1 for job in self._jobs.values() if not job.terminal)
             if live >= capacity:
                 self._rejected += 1
+                if self.service.breaker is not None:
+                    # Passed the breaker gate but never ran: free the
+                    # half-open probe slot it may hold.
+                    self.service.breaker.cancel_probe()
                 raise JobQueueFullError(
                     f"job manager at capacity: {live} jobs live "
                     f"(max_concurrent={self.config.max_concurrent}, "
@@ -429,8 +438,12 @@ class JobManager:
         }
 
     def _run(self, job: Job) -> None:
+        breaker = self.service.breaker
         if not job.try_start():
-            # Cancelled while queued; the admission slot frees here.
+            # Cancelled while queued; the admission slot frees here (and so
+            # does any half-open probe slot the job held).
+            if breaker is not None:
+                breaker.cancel_probe()
             return
         try:
             iterator, outcome = self.service.stream_run(
@@ -453,6 +466,8 @@ class JobManager:
             job.finish(JOB_FAILED, error=f"{type(exc).__name__}: {exc}")
             with self._lock:
                 self._failed += 1
+            if breaker is not None and not isinstance(exc, ParameterError):
+                breaker.record_failure()
             return
         statistics = None
         run = outcome.run
@@ -470,6 +485,10 @@ class JobManager:
             )
             with self._lock:
                 self._cancelled += 1
+            # A cancellation proves nothing about backend health; just
+            # release any probe slot so the breaker can settle.
+            if breaker is not None:
+                breaker.cancel_probe()
         else:
             job.finish(
                 JOB_SUCCEEDED,
@@ -479,3 +498,5 @@ class JobManager:
             )
             with self._lock:
                 self._succeeded += 1
+            if breaker is not None:
+                breaker.record_success()

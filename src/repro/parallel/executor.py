@@ -20,6 +20,7 @@ and for small graphs where process start-up dominates) are supported.
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from collections import deque
@@ -34,7 +35,7 @@ from ..core.enumerator import EnumerationResult
 from ..core.kplex import KPlex, validate_parameters
 from ..core.seeds import build_seed_context, iter_subtasks
 from ..core.stats import SearchStatistics
-from ..errors import SharedMemoryError
+from ..errors import FaultInjectedError, SharedMemoryError, WorkerCrashError
 from ..graph import Graph
 from ..graph.prepared import PreparedGraph, prepare
 from ..graph.shared import (
@@ -42,6 +43,9 @@ from ..graph.shared import (
     attach_prepared,
     shared_memory_available,
 )
+from ..resilience import PoolSupervisor, RetryPolicy, fault_injector, resilience_stats
+
+logger = logging.getLogger("repro.resilience")
 
 DEFAULT_TIMEOUT_SECONDS = 1e-4  # the paper's default τ_time = 0.1 ms
 
@@ -71,6 +75,13 @@ class ParallelConfig:
         default) uses shared memory whenever the platform supports it.
         Ignored by the thread pool, which shares the driver's objects
         directly.
+    retry:
+        Retry/backoff budget the pool supervisor applies to seed tasks lost
+        to a worker crash or raised from a worker; ``None`` uses the
+        :class:`~repro.resilience.RetryPolicy` defaults.
+    max_pool_failures:
+        Unattributable pool crashes tolerated before the run degrades to
+        in-process serial enumeration.
     """
 
     num_workers: int = field(default_factory=lambda: os.cpu_count() or 1)
@@ -79,6 +90,8 @@ class ParallelConfig:
     stage_size: Optional[int] = None
     enumeration: EnumerationConfig = field(default_factory=EnumerationConfig.ours)
     shared_memory: Optional[bool] = None
+    retry: Optional[RetryPolicy] = None
+    max_pool_failures: int = 4
 
 
 # --------------------------------------------------------------------------- #
@@ -181,6 +194,41 @@ def _mine_seed_with_state(
     return results, stats.as_dict()
 
 
+def _mine_seed_faulted(
+    seed_vertex: int, kind: str, param: Optional[float]
+) -> Tuple[List[Tuple[int, ...]], Dict[str, float]]:
+    """Fault-wrapped worker entry point (chaos testing only).
+
+    The *driver's* :class:`FaultInjector` decides — and consumes the budget
+    for — each fault before submission; the worker merely enacts it.  A
+    respawned worker therefore never re-inherits a live fault and kills
+    itself forever.
+    """
+    if kind == "kill":
+        os._exit(1)
+    if kind == "exc":
+        raise FaultInjectedError(f"injected worker failure at seed {seed_vertex}")
+    if kind == "delay" and param:
+        time.sleep(param)
+    return _mine_seed(seed_vertex)
+
+
+def _evaluate_seed_fault(injector, seed_vertex: int) -> Optional[Tuple[str, Optional[float]]]:
+    """Driver-side: which armed fault (if any) applies to this submission."""
+    crash_at = injector.param("seed_crash")
+    if crash_at is not None and int(crash_at) == seed_vertex and injector.fire("seed_crash"):
+        return ("kill", None)
+    raise_at = injector.param("seed_exception")
+    if raise_at is not None and int(raise_at) == seed_vertex and injector.fire("seed_exception"):
+        return ("exc", None)
+    if injector.fire("worker_kill"):
+        return ("kill", None)
+    delay = injector.param("seed_delay")
+    if delay is not None and injector.fire("seed_delay"):
+        return ("delay", delay)
+    return None
+
+
 def _stats_from_dict(values: Dict[str, float]) -> SearchStatistics:
     stats = SearchStatistics()
     for key, value in values.items():
@@ -229,14 +277,29 @@ def _enumerate_parallel(
         # pool constructor — or it leaks in /dev/shm until reboot.
         try:
             if parallel.use_processes:
+                injector = fault_injector()
                 use_shared = parallel.shared_memory
                 if use_shared is None:
                     use_shared = shared_memory_available()
                 if use_shared:
                     try:
+                        if injector.fire("shm_fail"):
+                            raise SharedMemoryError(
+                                "injected shared-memory publish failure"
+                            )
                         shared_payload = prepared_core.share()
-                    except SharedMemoryError:
-                        shared_payload = None  # fall back to pickled transfer
+                    except SharedMemoryError as exc:
+                        # Fall back to pickled per-worker transfer — slower,
+                        # but correct.  Observable, not silent: counted in
+                        # the service metrics and logged with the cause.
+                        shared_payload = None
+                        resilience_stats().increment("shm_fallbacks")
+                        logger.warning(
+                            "resilience: shared-memory publish failed "
+                            "(%s: %s); falling back to pickled per-worker "
+                            "transfer",
+                            type(exc).__name__, exc,
+                        )
                 if shared_payload is not None:
                     initializer = _initialise_worker_shared
                     init_args = (
@@ -255,15 +318,64 @@ def _enumerate_parallel(
                         parallel.enumeration,
                         parallel.timeout_seconds,
                     )
-                pool = ProcessPoolExecutor(
-                    max_workers=parallel.num_workers,
-                    initializer=initializer,
-                    initargs=init_args,
+
+                # The rebuild path reuses the same initargs: the driver's
+                # shared-memory segment outlives any worker crash, so a
+                # fresh pool's initializer re-attaches the same descriptor.
+                def pool_factory():
+                    if injector.fire("pool_build"):
+                        raise WorkerCrashError("injected pool construction failure")
+                    return ProcessPoolExecutor(
+                        max_workers=parallel.num_workers,
+                        initializer=initializer,
+                        initargs=init_args,
+                    )
+
+                def submit(pool, seed_vertex):
+                    if injector.enabled:
+                        fault = _evaluate_seed_fault(injector, seed_vertex)
+                        if fault is not None:
+                            return pool.submit(
+                                _mine_seed_faulted, seed_vertex, fault[0], fault[1]
+                            )
+                    return pool.submit(_mine_seed, seed_vertex)
+
+                # Degradation ladder's last rung: mine in-process.  Fault
+                # points never apply here — the fallback must be safe.
+                serial = partial(
+                    _mine_seed_with_state,
+                    _WorkerState(
+                        prepared_core,
+                        k,
+                        q,
+                        parallel.enumeration,
+                        parallel.timeout_seconds,
+                    ),
                 )
-                mine = _mine_seed
+
+                supervisor = PoolSupervisor(
+                    pool_factory,
+                    submit,
+                    serial,
+                    retry=parallel.retry,
+                    stage_size=stage,
+                    max_pool_failures=parallel.max_pool_failures,
+                    label="parallel process pool",
+                )
+                outcomes, report = supervisor.run(seeds)
+                merged_stats.pool_recoveries = report.pool_recoveries
+                merged_stats.task_retries = report.task_retries
+                merged_stats.serial_fallbacks = 1 if report.degraded_serial else 0
+                for seed_results, stats_dict in outcomes:
+                    merged_stats.merge(_stats_from_dict(stats_dict))
+                    for core_vertices in seed_results:
+                        original = [core_map[v] for v in core_vertices]
+                        kplexes.append(KPlex.from_vertices(graph, original, k))
             else:
                 # Bind this run's state directly instead of going through the
                 # per-process slot, so concurrent thread-mode runs are isolated.
+                # Threads cannot die under the driver, so the thread pool runs
+                # unsupervised.
                 init_args = (
                     prepared_core.for_worker_transfer(),
                     k,
@@ -273,17 +385,16 @@ def _enumerate_parallel(
                 )
                 mine = partial(_mine_seed_with_state, _WorkerState(*init_args))
                 pool = ThreadPoolExecutor(max_workers=parallel.num_workers)
-
-            try:
-                for start in range(0, len(seeds), stage):
-                    block = seeds[start : start + stage]
-                    for seed_results, stats_dict in pool.map(mine, block):
-                        merged_stats.merge(_stats_from_dict(stats_dict))
-                        for core_vertices in seed_results:
-                            original = [core_map[v] for v in core_vertices]
-                            kplexes.append(KPlex.from_vertices(graph, original, k))
-            finally:
-                pool.shutdown()
+                try:
+                    for start in range(0, len(seeds), stage):
+                        block = seeds[start : start + stage]
+                        for seed_results, stats_dict in pool.map(mine, block):
+                            merged_stats.merge(_stats_from_dict(stats_dict))
+                            for core_vertices in seed_results:
+                                original = [core_map[v] for v in core_vertices]
+                                kplexes.append(KPlex.from_vertices(graph, original, k))
+                finally:
+                    pool.shutdown()
         finally:
             if shared_payload is not None:
                 shared_payload.unlink()

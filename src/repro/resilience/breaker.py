@@ -1,0 +1,157 @@
+"""Circuit breaker: shed load while the backend is unhealthy.
+
+Classic three-state machine:
+
+* **closed** — traffic flows; consecutive failures are counted and a
+  success resets the count.  Reaching ``failure_threshold`` opens the
+  circuit.
+* **open** — every request is refused immediately (the HTTP layer maps
+  this to ``503`` + ``Retry-After``) until ``cooldown_seconds`` elapse.
+* **half-open** — after the cooldown one probe request is let through.
+  Its success closes the circuit; its failure re-opens it for another
+  cooldown window.
+
+The breaker never queues doomed work: refusing instantly is the point —
+callers get an honest "come back in N seconds" instead of a timeout.
+All methods are thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Thread-safe closed → open → half-open circuit breaker."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_seconds: float = 5.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_seconds <= 0:
+            raise ValueError("cooldown_seconds must be > 0")
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock or time.monotonic
+        self._lock = threading.Lock()
+        self._state = STATE_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._opened_total = 0
+        self._rejected_total = 0
+        self._probe_in_flight = False
+
+    # ------------------------------------------------------------------ #
+    # Gate
+    # ------------------------------------------------------------------ #
+    def allow(self) -> bool:
+        """Whether a new request may proceed right now.
+
+        In the half-open state exactly one caller wins the probe slot;
+        everyone else keeps being refused until the probe's outcome is
+        recorded via :meth:`record_success` / :meth:`record_failure`.
+        """
+        with self._lock:
+            if self._state == STATE_CLOSED:
+                return True
+            now = self._clock()
+            if self._state == STATE_OPEN:
+                if now - self._opened_at < self.cooldown_seconds:
+                    self._rejected_total += 1
+                    return False
+                self._state = STATE_HALF_OPEN
+                self._probe_in_flight = False
+            # Half-open: hand out the single probe slot.
+            if self._probe_in_flight:
+                self._rejected_total += 1
+                return False
+            self._probe_in_flight = True
+            return True
+
+    # ------------------------------------------------------------------ #
+    # Outcome reporting
+    # ------------------------------------------------------------------ #
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state != STATE_CLOSED:
+                self._state = STATE_CLOSED
+                self._probe_in_flight = False
+
+    def cancel_probe(self) -> None:
+        """Release the half-open probe slot without recording an outcome.
+
+        For callers that pass :meth:`allow` but then never run the request
+        (e.g. admission control rejects it) — otherwise the probe slot
+        would leak and the breaker could never close again.
+        """
+        with self._lock:
+            if self._state == STATE_HALF_OPEN:
+                self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state == STATE_HALF_OPEN:
+                # The probe failed: back to a full cooldown window.
+                self._trip()
+            elif (
+                self._state == STATE_CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip()
+
+    def _trip(self) -> None:
+        self._state = STATE_OPEN
+        self._opened_at = self._clock()
+        self._opened_total += 1
+        self._probe_in_flight = False
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._peek_state()
+
+    def _peek_state(self) -> str:
+        if self._state == STATE_OPEN:
+            if self._clock() - self._opened_at >= self.cooldown_seconds:
+                return STATE_HALF_OPEN  # would transition on the next allow()
+        return self._state
+
+    def retry_after_seconds(self) -> float:
+        """Remaining cooldown — what a 503 should put in ``Retry-After``."""
+        with self._lock:
+            if self._state != STATE_OPEN:
+                return 0.0
+            remaining = self.cooldown_seconds - (self._clock() - self._opened_at)
+            return max(0.0, remaining)
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            state = self._peek_state()
+            remaining = 0.0
+            if self._state == STATE_OPEN:
+                remaining = max(
+                    0.0, self.cooldown_seconds - (self._clock() - self._opened_at)
+                )
+            return {
+                "state": state,
+                "is_open": 1 if state == STATE_OPEN else 0,
+                "consecutive_failures": self._consecutive_failures,
+                "opened_total": self._opened_total,
+                "rejected_total": self._rejected_total,
+                "cooldown_remaining_seconds": round(remaining, 3),
+            }

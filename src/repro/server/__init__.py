@@ -42,6 +42,7 @@ from .persistence import (
     SNAPSHOT_VERSION,
     WarmStartReport,
     load_snapshot,
+    quarantine_snapshot,
     save_snapshot,
     snapshot_service,
     warm_start,
@@ -56,6 +57,7 @@ __all__ = [
     "snapshot_service",
     "save_snapshot",
     "load_snapshot",
+    "quarantine_snapshot",
     "warm_start",
     "WarmStartReport",
     "SNAPSHOT_FORMAT",

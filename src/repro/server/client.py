@@ -12,7 +12,7 @@ graphs raise :class:`~repro.errors.CatalogError`, unknown job ids raise
 :class:`~repro.errors.ParameterError`, and anything unmapped raises
 :class:`~repro.errors.RemoteServiceError` carrying the HTTP status.
 
-Two transport features are opt-in:
+Three transport features are opt-in:
 
 * ``keep_alive=True`` reuses one persistent connection across calls
   (HTTP/1.1 keep-alive), transparently reconnecting once when the server
@@ -21,7 +21,15 @@ Two transport features are opt-in:
   (the default opens a fresh connection per call, which is always safe);
 * every endpoint method accepts ``request_timeout`` overriding the
   client-wide socket timeout for that one call (a long solve can wait
-  minutes while health checks keep failing fast).
+  minutes while health checks keep failing fast);
+* ``retry=RetryPolicy(...)`` turns on resilience: ``429``/``503``
+  responses are retried with jittered exponential backoff honouring the
+  server's ``Retry-After`` header (which carries the circuit breaker's
+  remaining cooldown or a queue-drain estimate), connection failures are
+  retried for idempotent ``GET`` requests only (a ``POST`` may already
+  have reached the server), and :meth:`iter_job_results` transparently
+  reconnects a dropped stream, resuming from the last yielded record's
+  ``index`` so the caller sees every record exactly once.
 
 The async job API mirrors the ``/v1/jobs`` routes: :meth:`submit_job`,
 :meth:`job`, :meth:`jobs`, :meth:`cancel_job`, :meth:`job_results` and
@@ -39,6 +47,7 @@ from urllib.parse import urlsplit
 
 from ..errors import (
     CatalogError,
+    CircuitOpenError,
     GraphError,
     JobError,
     JobNotFoundError,
@@ -52,10 +61,12 @@ from ..errors import (
     SnapshotError,
 )
 from ..jobs import TERMINAL_STATES
+from ..resilience import RetryPolicy
 
 #: ``error.type`` labels mapped back onto local exception types.
 _ERROR_TYPES = {
     "ServiceOverloadError": ServiceOverloadError,
+    "CircuitOpenError": CircuitOpenError,
     "ServiceClosedError": ServiceClosedError,
     "CatalogError": CatalogError,
     "ParameterError": ParameterError,
@@ -91,10 +102,12 @@ class ServiceClient:
         base_url: str,
         timeout: float = 60.0,
         keep_alive: bool = False,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.keep_alive = keep_alive
+        self.retry = retry
         split = urlsplit(self.base_url)
         if split.scheme not in ("http", ""):
             raise ParameterError(
@@ -365,7 +378,54 @@ class ServiceClient:
         The consumer's pace is the producer's pace: reading slowly
         throttles the server-side enumeration (bounded-buffer
         backpressure) instead of buffering unboundedly.
+
+        With a client ``retry`` policy a dropped connection (including a
+        clean EOF before the final ``done`` record) is reconnected
+        transparently: the stream resumes at ``last yielded index + 1``,
+        so the caller still sees every record exactly once, in order.
+        The attempt budget resets whenever a reconnect makes progress.
         """
+        next_start = start
+        failures = 0
+        while True:
+            progressed = False
+            try:
+                for record in self._stream_once(
+                    job_id, next_start, heartbeat, request_timeout
+                ):
+                    if record.get("heartbeat"):
+                        if include_heartbeats:
+                            yield record
+                        continue
+                    if "index" in record:
+                        next_start = max(next_start, int(record["index"]) + 1)
+                        progressed = True
+                    yield record
+                    if "done" in record:
+                        return
+                # Exhausted without a final record: the server went away
+                # between lines (a half-closed socket reads as clean EOF).
+                exc: Optional[Exception] = None
+            except (OSError, HTTPException) as stream_exc:
+                exc = stream_exc
+            if progressed:
+                failures = 0
+            failures += 1
+            if self.retry is None or not self.retry.should_retry(failures):
+                detail = f": {exc}" if exc is not None else " before the final record"
+                raise RemoteServiceError(
+                    f"stream from {self.base_url} dropped{detail}"
+                ) from exc
+            self.retry.sleep(failures)
+
+    def _stream_once(
+        self,
+        job_id: str,
+        start: int,
+        heartbeat: Optional[float],
+        request_timeout: Optional[float],
+    ) -> Iterator[Dict[str, object]]:
+        """One streaming connection; yields raw NDJSON records until EOF."""
         route = f"/v1/jobs/{job_id}/results?stream=1&start={start}"
         if heartbeat is not None:
             route += f"&heartbeat={heartbeat}"
@@ -384,16 +444,14 @@ class ServiceClient:
             for line in response:
                 if not line.strip():
                     continue
-                record = json.loads(line)
-                if record.get("heartbeat") and not include_heartbeats:
-                    continue
-                yield record
-                if "done" in record:
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    # A torn trailing line from a dying connection; end the
+                    # stream so the resume loop re-fetches from the last
+                    # complete record instead of crashing the consumer.
                     return
-        except OSError as exc:
-            raise RemoteServiceError(
-                f"stream from {self.base_url} failed: {exc}"
-            ) from exc
+                yield record
         finally:
             conn.close()
 
@@ -416,17 +474,51 @@ class ServiceClient:
         data = json.dumps(body).encode("utf-8") if body is not None else None
         headers = {"Content-Type": "application/json"} if data else {}
         timeout = request_timeout if request_timeout is not None else self.timeout
+        path = self._path_prefix + route
+        failures = 0
+        while True:
+            try:
+                status, reason, content_type, raw, retry_after = self._request(
+                    method, path, data, headers, timeout
+                )
+            except OSError as exc:
+                # Connection-level failure.  Only idempotent GETs may be
+                # replayed — a POST could have reached the server before
+                # the socket died, and repeating it would double-apply.
+                failures += 1
+                if (
+                    self.retry is None
+                    or method != "GET"
+                    or not self.retry.should_retry(failures)
+                ):
+                    raise RemoteServiceError(
+                        f"cannot reach {self.base_url}: {exc}"
+                    ) from exc
+                self.retry.sleep(failures)
+                continue
+            if status in (429, 503):
+                # Overload / breaker-open: retry after the server's own
+                # hint when it gave one (any method — the request never
+                # ran, so replaying is safe).
+                failures += 1
+                if self.retry is not None and self.retry.should_retry(failures):
+                    self.retry.sleep(failures, retry_after=retry_after)
+                    continue
+            if status >= 400:
+                exc = self._to_exception(status, reason, raw)
+                if retry_after is not None and hasattr(exc, "retry_after"):
+                    exc.retry_after = retry_after
+                raise exc
+            return self._decode(raw, content_type)
+
+    @staticmethod
+    def _parse_retry_after(value: Optional[str]) -> Optional[float]:
+        if value is None:
+            return None
         try:
-            status, reason, content_type, raw = self._request(
-                method, self._path_prefix + route, data, headers, timeout
-            )
-        except OSError as exc:
-            raise RemoteServiceError(
-                f"cannot reach {self.base_url}: {exc}"
-            ) from exc
-        if status >= 400:
-            raise self._to_exception(status, reason, raw)
-        return self._decode(raw, content_type)
+            return max(0.0, float(value))
+        except ValueError:
+            return None
 
     def _request(
         self,
@@ -435,7 +527,7 @@ class ServiceClient:
         data: Optional[bytes],
         headers: Dict[str, str],
         timeout: float,
-    ) -> Tuple[int, str, str, bytes]:
+    ) -> Tuple[int, str, str, bytes, Optional[float]]:
         if not self.keep_alive:
             conn = HTTPConnection(self._host, self._port, timeout=timeout)
             try:
@@ -466,19 +558,21 @@ class ServiceClient:
                     raise
         raise AssertionError("unreachable")  # pragma: no cover
 
-    @staticmethod
+    @classmethod
     def _roundtrip(
+        cls,
         conn: HTTPConnection,
         method: str,
         path: str,
         data: Optional[bytes],
         headers: Dict[str, str],
-    ) -> Tuple[int, str, str, bytes]:
+    ) -> Tuple[int, str, str, bytes, Optional[float]]:
         conn.request(method, path, body=data, headers=headers)
         response: HTTPResponse = conn.getresponse()
         raw = response.read()  # fully drain so the connection is reusable
         content_type = (response.headers.get_content_type() or "").lower()
-        return response.status, response.reason, content_type, raw
+        retry_after = cls._parse_retry_after(response.getheader("Retry-After"))
+        return response.status, response.reason, content_type, raw, retry_after
 
     @staticmethod
     def _decode(

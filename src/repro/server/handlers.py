@@ -8,6 +8,9 @@ JSON over HTTP/1.1 (stdlib only, no framework):
 Method     Path                         Meaning
 =========  ===========================  =========================================
 ``GET``    ``/healthz``                 liveness (``503`` while draining)
+``GET``    ``/readyz``                  readiness: ``503`` while draining, the
+                                        circuit breaker is open or the worker
+                                        pool is degraded to serial
 ``GET``    ``/v1/graphs``               catalog listing
 ``POST``   ``/v1/graphs``               register a graph (edges / path / dataset)
 ``POST``   ``/v1/solve``                run one enumeration request synchronously
@@ -40,6 +43,7 @@ client always knows whether the stream ended or was cut.
 from __future__ import annotations
 
 import json
+import math
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler
 from typing import Dict, Optional, Tuple
@@ -49,17 +53,20 @@ from .. import __version__
 from ..core.config import EnumerationConfig
 from ..errors import (
     CatalogError,
+    CircuitOpenError,
     JobError,
     JobNotFoundError,
     JobResultsTruncatedError,
     JobStateError,
     ParameterError,
     ReproError,
+    ResilienceError,
     ServiceClosedError,
     ServiceOverloadError,
     SnapshotError,
 )
 from ..jobs import READ_END, READ_ITEM
+from ..resilience import fault_injector, resilience_stats
 from .persistence import save_snapshot
 
 #: Largest accepted request body; registering a graph inline dominates.
@@ -81,8 +88,16 @@ def _classify(exc: Exception) -> Tuple[int, str]:
         # Includes JobQueueFullError: a full job table is the same
         # load-shedding signal as a full sync queue.
         return 429, type(exc).__name__
+    if isinstance(exc, CircuitOpenError):
+        # The breaker sheds load while the backend is unhealthy; the
+        # exception carries the remaining cooldown for Retry-After.
+        return 503, "CircuitOpenError"
     if isinstance(exc, ServiceClosedError):
         return 503, "ServiceClosedError"
+    if isinstance(exc, ResilienceError):
+        # Poison tasks / unrecoverable worker crashes are backend failures,
+        # not client mistakes.
+        return 500, type(exc).__name__
     if isinstance(exc, JobNotFoundError):
         return 404, "JobNotFoundError"
     if isinstance(exc, JobStateError):
@@ -123,6 +138,7 @@ class KPlexRequestHandler(BaseHTTPRequestHandler):
         self._dispatch(
             {
                 "/healthz": self._get_health,
+                "/readyz": self._get_ready,
                 "/v1/graphs": self._get_graphs,
                 "/v1/metrics": self._get_metrics,
                 "/v1/jobs": self._get_jobs,
@@ -175,8 +191,8 @@ class KPlexRequestHandler(BaseHTTPRequestHandler):
             if handler is None:
                 handler = self._job_route(parsed.path)
             if handler is None:
-                known = {"/healthz", "/v1/graphs", "/v1/metrics", "/v1/solve",
-                         "/v1/snapshot", "/v1/jobs"}
+                known = {"/healthz", "/readyz", "/v1/graphs", "/v1/metrics",
+                         "/v1/solve", "/v1/snapshot", "/v1/jobs"}
                 if parsed.path in known:
                     raise _HTTPFail(
                         405, "MethodNotAllowed", f"{self.command} not allowed on {parsed.path}"
@@ -187,7 +203,10 @@ class KPlexRequestHandler(BaseHTTPRequestHandler):
             self._send_error_body(fail.status, fail.kind, str(fail))
         except Exception as exc:  # noqa: BLE001 - every error becomes a body
             status, kind = _classify(exc)
-            self._send_error_body(status, kind, str(exc))
+            self._send_error_body(
+                status, kind, str(exc),
+                retry_after=getattr(exc, "retry_after", None),
+            )
 
     # ------------------------------------------------------------------ #
     # Routes
@@ -195,7 +214,11 @@ class KPlexRequestHandler(BaseHTTPRequestHandler):
     def _get_health(self, _query: Dict[str, list]) -> None:
         service = self.server.service  # type: ignore[attr-defined]
         if self.server.draining or service.closed:  # type: ignore[attr-defined]
-            self._send_json(503, {"status": "draining"})
+            self._send_json(
+                503,
+                {"status": "draining"},
+                headers={"Retry-After": str(self._retry_after_hint())},
+            )
             return
         self._send_json(
             200,
@@ -204,6 +227,36 @@ class KPlexRequestHandler(BaseHTTPRequestHandler):
                 "graphs": len(service.catalog),
                 "in_flight": service.metrics()["in_flight"],
             },
+        )
+
+    def _get_ready(self, _query: Dict[str, list]) -> None:
+        """Readiness, distinct from liveness: should a router send traffic?
+
+        ``503`` while draining/closed, while the circuit breaker is *open*
+        (half-open stays ready — the probe request has to get through), and
+        while the parallel worker pool is degraded to serial execution.
+        The body always explains why.
+        """
+        service = self.server.service  # type: ignore[attr-defined]
+        breaker = service.breaker
+        stats = resilience_stats()
+        body: Dict[str, object] = {
+            "breaker": breaker.snapshot() if breaker is not None else None,
+            "pool_degraded": stats.pool_degraded,
+            "recoveries_total": stats.get("pool_recoveries"),
+        }
+        if self.server.draining or service.closed:  # type: ignore[attr-defined]
+            body["status"] = "draining"
+        elif breaker is not None and breaker.state == "open":
+            body["status"] = "breaker_open"
+        elif stats.pool_degraded:
+            body["status"] = "degraded"
+        else:
+            body["status"] = "ready"
+            self._send_json(200, body)
+            return
+        self._send_json(
+            503, body, headers={"Retry-After": str(self._retry_after_hint())}
         )
 
     def _get_graphs(self, _query: Dict[str, list]) -> None:
@@ -489,6 +542,12 @@ class KPlexRequestHandler(BaseHTTPRequestHandler):
                 if kind == READ_END:
                     break
                 if kind == READ_ITEM:
+                    if fault_injector().fire("http_drop"):
+                        # Chaos: pretend the connection died mid-stream.  The
+                        # existing client-went-away path closes the socket
+                        # without the final record or terminating chunk, so
+                        # the client sees a truncated chunked stream.
+                        raise BrokenPipeError("injected connection drop")
                     self._write_ndjson_chunk(item)
                 else:  # READ_TIMEOUT -> heartbeat keeps the connection alive
                     self._write_ndjson_chunk(
@@ -566,20 +625,48 @@ class KPlexRequestHandler(BaseHTTPRequestHandler):
             )
         return value
 
-    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, object],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         encoded = json.dumps(payload, default=str).encode("utf-8")
-        self._send_bytes(status, encoded, "application/json")
+        self._send_bytes(status, encoded, "application/json", headers)
 
     def _send_text(self, status: int, text: str) -> None:
         self._send_bytes(
             status, text.encode("utf-8"), "text/plain; version=0.0.4; charset=utf-8"
         )
 
-    def _send_error_body(self, status: int, kind: str, message: str) -> None:
+    def _retry_after_hint(self) -> int:
+        """Derived Retry-After seconds: breaker cooldown or queue-drain ETA."""
+        service = getattr(self.server, "service", None)
+        if service is None:
+            return 1
+        try:
+            return service.retry_after_hint()
+        except Exception:  # pragma: no cover - the hint must never 500 a reply
+            return 1
+
+    def _send_error_body(
+        self,
+        status: int,
+        kind: str,
+        message: str,
+        retry_after: Optional[float] = None,
+    ) -> None:
         encoded = json.dumps(
             {"error": {"type": kind, "message": message, "status": status}}
         ).encode("utf-8")
-        headers = {"Retry-After": "1"} if status == 429 else None
+        headers = None
+        if status in (429, 503):
+            # Derived, not hardcoded: breaker rejections carry their
+            # remaining cooldown; overload rejections get the queue-drain
+            # estimate; drain/closed 503s get the same service hint.
+            if retry_after is None:
+                retry_after = self._retry_after_hint()
+            headers = {"Retry-After": str(max(1, math.ceil(retry_after)))}
         self._send_bytes(status, encoded, "application/json", headers)
 
     def _send_bytes(

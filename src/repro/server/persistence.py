@@ -38,6 +38,7 @@ from ..core.config import EnumerationConfig
 from ..errors import ReproError, SnapshotError
 from ..graph import Graph
 from ..graph.prepared import prepare
+from ..resilience import fault_injector, resilience_stats
 from ..service import KPlexService
 from ..service.cache import _INTERNAL_OPTIONS
 from ..service.catalog import DATASET_PREFIX
@@ -223,6 +224,14 @@ def save_snapshot(
         snapshot.update(extra)
     path = os.fspath(path)
     directory = os.path.dirname(os.path.abspath(path))
+    if fault_injector().fire("snapshot_torn"):
+        # Fault injection: simulate a crash mid-write by publishing a
+        # truncated document directly (bypassing the tmp+rename protocol
+        # that normally makes this impossible).
+        payload = json.dumps(snapshot, indent=2, sort_keys=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(payload[: max(1, len(payload) // 2)])
+        return snapshot
     tmp_path = None
     try:
         fd, tmp_path = tempfile.mkstemp(
@@ -245,6 +254,30 @@ def save_snapshot(
 # --------------------------------------------------------------------------- #
 # Restore
 # --------------------------------------------------------------------------- #
+def quarantine_snapshot(path: Union[str, os.PathLike]) -> Optional[str]:
+    """Move a corrupt snapshot aside as ``<path>.corrupt`` and return the new path.
+
+    The rename keeps the torn document for post-mortem inspection while
+    guaranteeing the next boot (and the next periodic snapshot write) sees
+    a clean slate.  An existing quarantine file is never overwritten — a
+    numeric suffix is appended instead.  Returns ``None`` when the file
+    vanished or cannot be moved (in which case the caller should still
+    boot cold; the quarantine is best-effort).
+    """
+    path = os.fspath(path)
+    target = path + ".corrupt"
+    suffix = 0
+    while os.path.exists(target):
+        suffix += 1
+        target = f"{path}.corrupt.{suffix}"
+    try:
+        os.replace(path, target)
+    except OSError:
+        return None
+    resilience_stats().increment("snapshots_quarantined")
+    return target
+
+
 def load_snapshot(path: Union[str, os.PathLike]) -> Dict[str, object]:
     """Read and validate a snapshot document written by :func:`save_snapshot`."""
     path = os.fspath(path)
@@ -280,6 +313,9 @@ class WarmStartReport:
     skipped_stale: int = 0
     failed: int = 0
     errors: List[str] = field(default_factory=list)
+    #: Path the corrupt snapshot was moved to, when a torn/invalid document
+    #: was quarantined instead of aborting the boot.
+    quarantined: Optional[str] = None
 
     def describe(self) -> Dict[str, object]:
         """JSON-ready summary (logged by the CLI after boot)."""
@@ -287,6 +323,11 @@ class WarmStartReport:
 
     def summary(self) -> str:
         """One-line human-readable summary."""
+        if self.quarantined is not None:
+            return (
+                f"warm start: corrupt snapshot quarantined to "
+                f"{self.quarantined!r}; booting cold"
+            )
         return (
             f"warm start: {self.replayed} specs replayed over "
             f"{self.graphs_registered + self.graphs_matched} graphs "
@@ -350,6 +391,7 @@ def warm_start(
     service: KPlexService,
     snapshot: Union[str, os.PathLike, Dict[str, object]],
     register_missing: bool = True,
+    quarantine_corrupt: bool = False,
 ) -> WarmStartReport:
     """Replay a snapshot's hot specs through ``service``'s normal path.
 
@@ -360,9 +402,26 @@ def warm_start(
     skipped — see the module docstring for why this can never warm state
     from before a mutation.  Individual replay failures are collected in
     the report instead of aborting the boot.
+
+    With ``quarantine_corrupt`` a torn or invalid snapshot *file* (crash
+    mid-write, truncation, version drift) no longer raises: the document
+    is moved aside via :func:`quarantine_snapshot` and an empty report
+    with :attr:`WarmStartReport.quarantined` set is returned, so the
+    server boots cold instead of crash-looping on the same bad file.  A
+    *missing* file still raises — that is a configuration error, not
+    corruption.
     """
     if not isinstance(snapshot, dict):
-        snapshot = load_snapshot(snapshot)
+        snapshot_path = os.fspath(snapshot)
+        try:
+            snapshot = load_snapshot(snapshot_path)
+        except SnapshotError as exc:
+            if not quarantine_corrupt or not os.path.exists(snapshot_path):
+                raise
+            report = WarmStartReport()
+            report.quarantined = quarantine_snapshot(snapshot_path)
+            report.errors.append(f"snapshot {snapshot_path!r}: {exc}")
+            return report
     report = WarmStartReport()
     fresh: Dict[str, int] = {}
     for spec in snapshot["graphs"]:

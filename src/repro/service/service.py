@@ -42,8 +42,14 @@ from ..api.response import (
 )
 from ..api.solvers import _ConfigurableSolver
 from ..api.registry import get_solver
-from ..errors import ParameterError, ServiceClosedError, ServiceOverloadError
+from ..errors import (
+    CircuitOpenError,
+    ParameterError,
+    ServiceClosedError,
+    ServiceOverloadError,
+)
 from ..graph import Graph
+from ..resilience import CircuitBreaker, resilience_stats
 from .cache import ResultCache, SeedContextCache, result_cache_key
 from .catalog import GraphCatalog
 
@@ -82,6 +88,13 @@ class ServiceConfig:
     latency_window:
         Number of most recent request latencies kept for the p50/p95
         estimates.
+    breaker_failure_threshold:
+        Consecutive backend failures that open the circuit breaker (new
+        submissions are then shed with :class:`~repro.errors.CircuitOpenError`
+        → HTTP 503 + ``Retry-After``).  ``None`` disables the breaker.
+    breaker_cooldown_seconds:
+        How long the breaker stays open before letting one half-open probe
+        request through.
     """
 
     max_workers: int = 4
@@ -94,6 +107,8 @@ class ServiceConfig:
     prepared_core_budget: Optional[int] = None
     csr_backend: Optional[str] = None
     latency_window: int = 2048
+    breaker_failure_threshold: Optional[int] = 5
+    breaker_cooldown_seconds: float = 5.0
 
     def __post_init__(self) -> None:
         if self.csr_backend is not None:
@@ -114,6 +129,16 @@ class ServiceConfig:
             raise ParameterError(
                 "default_timeout_seconds must be non-negative, got "
                 f"{self.default_timeout_seconds}"
+            )
+        if self.breaker_failure_threshold is not None and self.breaker_failure_threshold < 1:
+            raise ParameterError(
+                "breaker_failure_threshold must be >= 1 (or None to disable), "
+                f"got {self.breaker_failure_threshold}"
+            )
+        if self.breaker_cooldown_seconds <= 0:
+            raise ParameterError(
+                "breaker_cooldown_seconds must be > 0, got "
+                f"{self.breaker_cooldown_seconds}"
             )
 
 
@@ -243,6 +268,21 @@ class ServiceMetrics:
             if termination == TERMINATION_TIMEOUT:
                 self.timeouts += 1
 
+    def queue_eta_seconds(self, workers: int) -> int:
+        """Estimated seconds until the current backlog drains — the derived
+        ``Retry-After`` value for admission-control rejections.
+
+        ``(queued / workers + 1)`` waves of work at the observed p50 latency
+        (0.5s assumed before any sample exists), clamped to [1, 60] so the
+        header is always sane.
+        """
+        with self._lock:
+            queued = max(0, self.in_flight - self.running)
+            latencies = sorted(self._latencies)
+        p50 = _percentile(latencies, 0.50) if latencies else 0.5
+        eta = (queued / max(1, workers) + 1.0) * p50
+        return int(min(60, max(1, math.ceil(eta))))
+
     def snapshot(self) -> Dict[str, object]:
         """JSON-ready counters plus latency percentiles over the window."""
         with self._lock:
@@ -334,6 +374,14 @@ class KPlexService:
             )
         )
         self._metrics = ServiceMetrics(latency_window=self.config.latency_window)
+        self._breaker: Optional[CircuitBreaker] = (
+            None
+            if self.config.breaker_failure_threshold is None
+            else CircuitBreaker(
+                failure_threshold=self.config.breaker_failure_threshold,
+                cooldown_seconds=self.config.breaker_cooldown_seconds,
+            )
+        )
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
         self._admission_lock = threading.Lock()
@@ -392,16 +440,24 @@ class KPlexService:
                 "the service is closed and no longer accepts submissions"
             )
         request = self._coerce(request, k, q, kwargs)
+        self.check_breaker()
         capacity = self.config.max_workers + self.config.max_queue_depth
-        with self._admission_lock:
-            if self._outstanding >= capacity:
-                self._metrics.record_rejected()
-                raise ServiceOverloadError(
-                    f"service at capacity: {self._outstanding} requests outstanding "
-                    f"(max_workers={self.config.max_workers}, "
-                    f"max_queue_depth={self.config.max_queue_depth})"
-                )
-            self._outstanding += 1
+        try:
+            with self._admission_lock:
+                if self._outstanding >= capacity:
+                    self._metrics.record_rejected()
+                    raise ServiceOverloadError(
+                        f"service at capacity: {self._outstanding} requests outstanding "
+                        f"(max_workers={self.config.max_workers}, "
+                        f"max_queue_depth={self.config.max_queue_depth})"
+                    )
+                self._outstanding += 1
+        except BaseException:
+            # The request passed the breaker gate but never ran: release a
+            # half-open probe slot it may hold, or the breaker jams open.
+            if self._breaker is not None:
+                self._breaker.cancel_probe()
+            raise
         self._metrics.record_admitted()
         try:
             future = self._ensure_pool().submit(self._execute, request)
@@ -409,6 +465,8 @@ class KPlexService:
             with self._admission_lock:
                 self._outstanding -= 1
             self._metrics.record_outcome(0.0, None, error=True, started=False)
+            if self._breaker is not None:
+                self._breaker.cancel_probe()
             raise
         future.add_done_callback(self._on_done)
         return future
@@ -500,6 +558,42 @@ class KPlexService:
             self._seed_cache.invalidate_graph(entry.graph)
         return epoch
 
+    def check_breaker(self) -> None:
+        """Raise :class:`CircuitOpenError` while the circuit breaker sheds load.
+
+        The admission gate shared by the sync path (:meth:`submit`) and the
+        async job path (:class:`~repro.jobs.manager.JobManager`).  In the
+        half-open state exactly one caller per cooldown window passes as the
+        probe; its recorded outcome closes or re-opens the circuit.
+        """
+        if self._breaker is not None and not self._breaker.allow():
+            retry_after = max(1.0, self._breaker.retry_after_seconds())
+            self._metrics.record_rejected()
+            raise CircuitOpenError(
+                "circuit breaker open: the enumeration backend is unhealthy "
+                f"(state={self._breaker.state}); retry in {retry_after:.0f}s",
+                retry_after=retry_after,
+            )
+
+    @property
+    def breaker(self) -> Optional[CircuitBreaker]:
+        """The service's circuit breaker (``None`` when disabled)."""
+        return self._breaker
+
+    def retry_after_hint(self) -> int:
+        """Seconds a rejected client should wait before retrying.
+
+        Breaker open → the remaining cooldown.  Otherwise (admission-control
+        429s) → an estimate of when the queue will have drained: queue waves
+        ahead of the caller times the observed p50 latency, clamped to
+        [1, 60].
+        """
+        if self._breaker is not None:
+            remaining = self._breaker.retry_after_seconds()
+            if remaining > 0:
+                return max(1, math.ceil(remaining))
+        return self._metrics.queue_eta_seconds(self.config.max_workers)
+
     def metrics(self) -> Dict[str, object]:
         """One JSON-ready snapshot of service, cache and catalog state."""
         snapshot = self._metrics.snapshot()
@@ -513,6 +607,15 @@ class KPlexService:
             "graphs": len(self.catalog),
             "memory_bytes": self.catalog.total_memory_bytes(),
         }
+        resilience = resilience_stats().snapshot()
+        # Promoted to a top-level counter so the Prometheus rendering exposes
+        # `kplex_recoveries_total` — the headline "we survived a worker
+        # death" signal dashboards and the CI chaos smoke alert on.
+        snapshot["recoveries_total"] = resilience["pool_recoveries"]
+        snapshot["resilience"] = resilience
+        snapshot["breaker"] = (
+            self._breaker.snapshot() if self._breaker is not None else None
+        )
         return snapshot
 
     def metrics_prometheus_text(self, prefix: str = "kplex") -> str:
@@ -618,10 +721,15 @@ class KPlexService:
             response, outcome = self._solve_with_cache(request)
             termination = response.termination
             return response
-        except BaseException:
+        except BaseException as exc:
             self._metrics.record_outcome(
                 time.perf_counter() - started, outcome, error=True
             )
+            # Bad parameters say nothing about backend health; everything
+            # else (solver crashes, poison tasks, engine errors) counts
+            # toward opening the circuit.
+            if self._breaker is not None and not isinstance(exc, ParameterError):
+                self._breaker.record_failure()
             raise
         finally:
             # Success path only: the error path already recorded itself (and
@@ -630,6 +738,8 @@ class KPlexService:
                 self._metrics.record_outcome(
                     time.perf_counter() - started, outcome, termination
                 )
+                if self._breaker is not None:
+                    self._breaker.record_success()
 
     def _solve_with_cache(
         self, request: EnumerationRequest

@@ -110,36 +110,43 @@ def test_context_manager_unlinks_on_exception():
     assert name not in live_owned_segments()
 
 
-def test_pool_crash_still_unlinks_segment(monkeypatch):
+def test_pool_crash_degrades_to_serial_and_unlinks_segment(monkeypatch):
+    # A pool that cannot even be constructed no longer kills the run: the
+    # supervisor degrades to in-process serial enumeration (recorded in the
+    # run statistics) — and the segment is still unlinked exactly once.
     class ExplodingPool:
         def __init__(self, *args, **kwargs):
             raise RuntimeError("pool constructor crashed")
 
     graph, _prepared_index = _prepared(seed=13)
+    expected = {p.as_set() for p in enumerate_maximal_kplexes(graph, 2, 4)}
     monkeypatch.setattr(executor_module, "ProcessPoolExecutor", ExplodingPool)
-    with pytest.raises(RuntimeError, match="pool constructor crashed"):
-        _enumerate_parallel(
-            graph,
-            2,
-            4,
-            ParallelConfig(num_workers=2, use_processes=True, shared_memory=True),
-        )
+    result = _enumerate_parallel(
+        graph,
+        2,
+        4,
+        ParallelConfig(num_workers=2, use_processes=True, shared_memory=True),
+    )
+    assert {p.as_set() for p in result.kplexes} == expected
+    assert result.statistics.serial_fallbacks == 1
     assert live_owned_segments() == []
 
 
 def test_raising_worker_still_unlinks_segment(monkeypatch):
-    class RaisingMapPool:
+    # An unexpected driver-side failure (not a worker death, not a task
+    # exception) still propagates — and still unlinks the segment.
+    class RaisingSubmitPool:
         def __init__(self, *args, **kwargs):
             pass
 
-        def map(self, *_args, **_kwargs):
+        def submit(self, *_args, **_kwargs):
             raise RuntimeError("worker died")
 
         def shutdown(self, *args, **kwargs):
             pass
 
     graph, _prepared_index = _prepared(seed=17)
-    monkeypatch.setattr(executor_module, "ProcessPoolExecutor", RaisingMapPool)
+    monkeypatch.setattr(executor_module, "ProcessPoolExecutor", RaisingSubmitPool)
     with pytest.raises(RuntimeError, match="worker died"):
         _enumerate_parallel(
             graph,

@@ -1,0 +1,100 @@
+"""Observability — tracing overhead on the cached-replay serving path.
+
+The tracing layer must be affordable exactly where it is always on: the
+hot serving path.  The worst case for relative overhead is the *cheapest*
+request — a pure cache hit, where the service does no search work and the
+per-request span bookkeeping is its largest fraction of the server-side
+work.
+
+This bench boots the HTTP front-end twice against identical warm
+services: once with tracing on (the default — every request gets a
+``Trace``, a span tree and a recorder entry) and once with tracing
+disabled (``trace_capacity=0`` — the genuine off switch, where spans
+degrade to the shared no-op).  The same cached solve is then replayed
+through a keep-alive :class:`~repro.server.client.ServiceClient` against
+each, in adjacent plain/traced round pairs.  Each pair yields one
+traced/plain ratio, and the gate takes the best pair — back-to-back
+rounds see the same CPU-frequency and scheduler conditions, so the ratio
+cancels drift that independent best-of minimums cannot.  The gate:
+tracing may cost at most 5% on top of the untraced replay (plus a small
+absolute epsilon so sub-millisecond jitter cannot fail the run).
+"""
+
+import time
+
+from repro.analysis.reporting import render_table
+from repro.graph import generators
+from repro.server import start_server
+from repro.server.client import ServiceClient
+from repro.service import KPlexService, ServiceConfig
+
+from _bench_utils import run_once
+
+REQUESTS = 400
+ROUNDS = 7
+#: Absolute slack (seconds) so pure timer jitter cannot fail the 5% gate
+#: when a whole replay round takes only tens of milliseconds.
+EPSILON_SECONDS = 0.01
+
+
+def _make_service() -> KPlexService:
+    service = KPlexService(config=ServiceConfig(max_workers=2))
+    service.catalog.register(
+        "bench", generators.ring_of_cliques(num_cliques=4, clique_size=5)
+    )
+    service.solve("bench", k=2, q=4)  # warm: every replay below is a hit
+    return service
+
+
+def _replay(client: ServiceClient, requests: int) -> float:
+    started = time.perf_counter()
+    for _ in range(requests):
+        client.solve("bench", k=2, q=4)
+    return time.perf_counter() - started
+
+
+def test_bench_tracing_overhead_on_cached_replay(benchmark):
+    traced_service = _make_service()
+    plain_service = _make_service()
+    traced_server = start_server(traced_service)
+    plain_server = start_server(plain_service, trace_capacity=0)
+    traced_client = ServiceClient(traced_server.url, keep_alive=True)
+    plain_client = ServiceClient(plain_server.url, keep_alive=True)
+
+    def run():
+        # One untimed warm round per connection settles keep-alive setup,
+        # lazily created worker threads and the interpreter's own caches.
+        _replay(plain_client, REQUESTS // 4)
+        _replay(traced_client, REQUESTS // 4)
+        pairs = []
+        for _ in range(ROUNDS):
+            plain = _replay(plain_client, REQUESTS)
+            traced = _replay(traced_client, REQUESTS)
+            pairs.append((plain, traced))
+        best_plain, best_traced = min(
+            pairs, key=lambda pair: pair[1] / pair[0]
+        )
+        overhead = (best_traced - best_plain) / best_plain
+        return {
+            "requests": REQUESTS,
+            "plain_seconds": round(best_plain, 4),
+            "traced_seconds": round(best_traced, 4),
+            "overhead_pct": round(overhead * 100.0, 2),
+        }
+
+    try:
+        row = run_once(benchmark, run)
+    finally:
+        for client in (traced_client, plain_client):
+            client.close()
+        for server in (traced_server, plain_server):
+            server.drain()
+    print()
+    print(render_table([row], title="Tracing overhead — cached HTTP replay"))
+    assert row["traced_seconds"] <= row["plain_seconds"] * 1.05 + EPSILON_SECONDS, row
+    # Sanity: both replays really took the cached path, and only the traced
+    # server recorded anything.
+    assert traced_service.metrics()["cache_hits"] >= REQUESTS
+    assert plain_service.metrics()["cache_hits"] >= REQUESTS
+    assert len(traced_server.recorder) > 0
+    assert plain_server.recorder is None

@@ -32,6 +32,7 @@ from ..errors import ParameterError
 from ..graph import Graph
 from ..graph.prepared import PreparedGraph
 from ..graph.prepared import prepare as _prepare_graph
+from ..obs import start_span
 from .registry import Solver, SolverRun, get_solver, solver_names, solver_table
 from .request import DEFAULT_SOLVER, EnumerationRequest
 from .response import (
@@ -188,6 +189,9 @@ class KPlexEngine:
     ) -> Iterator[KPlex]:
         # Start the clock before dispatch so elapsed_seconds (and the
         # timeout budget) cover the solver's preprocessing as well.
+        # The span is started (not activated — this is a generator) under
+        # whatever span is current when the first result is pulled.
+        run_span = start_span("solver_run", solver=request.solver)
         started = self._clock()
         _solver, run = self._start(request)
         outcome.run = run
@@ -226,6 +230,10 @@ class KPlexEngine:
                     break
         finally:
             outcome.elapsed_seconds = self._clock() - started
+            if run_span is not None:
+                run_span.set(
+                    termination=outcome.termination, results=count
+                ).finish()
 
     # ------------------------------------------------------------------ #
     # Public API

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from typing import Optional, Sequence
 
@@ -310,6 +311,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print one access-log line per request to stderr",
     )
     http_parser.add_argument(
+        "--access-log-format", default="plain", choices=["plain", "json"],
+        help="access-log line shape: classic plain text or one JSON object "
+             "per request (default: plain)",
+    )
+    http_parser.add_argument(
+        "--slow-request-threshold", type=float, default=None, metavar="SECONDS",
+        help="emit a slow_request WARNING event carrying the request's full "
+             "span tree when it runs longer than SECONDS",
+    )
+    http_parser.add_argument(
+        "--trace-capacity", type=int, default=256, metavar="N",
+        help="completed request traces kept for GET /v1/trace (default: 256)",
+    )
+    http_parser.add_argument(
         "--job-workers", type=int, default=2,
         help="worker threads for async /v1/jobs (default: 2, separate from --workers)",
     )
@@ -433,6 +448,37 @@ def _build_parser() -> argparse.ArgumentParser:
     stream_parser.add_argument(
         "--heartbeats", action="store_true",
         help="also print the server's keep-alive heartbeat lines",
+    )
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="fetch request traces from a running kplex-enum serve-http server",
+        description=(
+            "Without a request id, list the traces the server still holds "
+            "(GET /v1/trace). With one, pretty-print that request's span "
+            "tree (GET /v1/trace/<id>) — pass the X-Request-Id you sent, "
+            "or the one the server echoed back."
+        ),
+    )
+    trace_parser.add_argument(
+        "request_id", nargs="?", default=None,
+        help="request id to fetch; omit to list recent traces",
+    )
+    trace_parser.add_argument(
+        "--url", default="http://127.0.0.1:8080",
+        help="server base URL (default: http://127.0.0.1:8080)",
+    )
+    trace_parser.add_argument(
+        "--min-ms", type=float, default=None, metavar="MS",
+        help="when listing, only traces at least MS milliseconds long",
+    )
+    trace_parser.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="when listing, show at most N traces (default: 20)",
+    )
+    trace_parser.add_argument(
+        "--json", action="store_true",
+        help="print the raw JSON payload instead of the rendered tree",
     )
     return parser
 
@@ -733,6 +779,12 @@ def _command_serve_http(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
+    # Operational WARNING events (breaker trips, pool recoveries, snapshot
+    # quarantines, slow requests) always reach stderr as JSON lines; the
+    # per-request access log below stays opt-in via --access-log.
+    from .obs import configure_event_logging
+
+    configure_event_logging(stream=sys.stderr, level=logging.WARNING)
     logger = (lambda line: print(line, file=sys.stderr)) if args.access_log else None
     from .jobs import JobManagerConfig
 
@@ -752,6 +804,9 @@ def _command_serve_http(args: argparse.Namespace) -> int:
             ttl_seconds=args.job_ttl,
         ),
         drain_jobs=args.drain_jobs,
+        trace_capacity=args.trace_capacity,
+        access_log_format=args.access_log_format,
+        slow_request_threshold=args.slow_request_threshold,
     )
     metrics = service.metrics()
     print(
@@ -812,6 +867,57 @@ def _command_jobs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_span_tree(nodes, depth: int = 0) -> None:
+    for node in nodes:
+        duration = node.get("duration_ms")
+        timing = f"{duration:.3f}ms" if duration is not None else "open"
+        attrs = node.get("attributes") or {}
+        detail = " ".join(f"{key}={attrs[key]}" for key in sorted(attrs))
+        status = node.get("status", "ok")
+        line = f"{'  ' * depth}{node['name']}  {timing}"
+        if status != "ok":
+            line += f"  [{status}]"
+        if detail:
+            line += f"  {detail}"
+        print(line)
+        _render_span_tree(node.get("children") or [], depth + 1)
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    from .server import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.request_id is None:
+        payload = client.traces(min_ms=args.min_ms, limit=args.limit)
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+            return 0
+        rows = payload.get("traces") or []
+        if not rows:
+            print("no traces recorded")
+            return 0
+        for row in rows:
+            duration = row.get("duration_ms")
+            timing = f"{duration:10.3f}ms" if duration is not None else "         -  "
+            print(
+                f"{row['request_id']}  {timing}  "
+                f"spans={row.get('spans', 0)} root={row.get('root') or '-'}"
+            )
+        return 0
+    payload = client.trace(args.request_id)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+        return 0
+    header = f"trace {payload['request_id']}"
+    if payload.get("duration_ms") is not None:
+        header += f"  {payload['duration_ms']}ms"
+    if payload.get("dropped_spans"):
+        header += f"  (+{payload['dropped_spans']} spans dropped)"
+    print(header)
+    _render_span_tree(payload.get("tree") or [])
+    return 0
+
+
 _COMMANDS = {
     "enumerate": _command_enumerate,
     "query": _command_query,
@@ -821,6 +927,7 @@ _COMMANDS = {
     "serve": _command_serve,
     "serve-http": _command_serve_http,
     "jobs": _command_jobs,
+    "trace": _command_trace,
 }
 
 

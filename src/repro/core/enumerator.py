@@ -23,6 +23,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 from ..errors import ParameterError
 from ..graph import Graph
 from ..graph.prepared import prepare
+from ..obs import start_span
 from .branch import BranchSearcher
 from .config import EnumerationConfig
 from .kplex import KPlex, validate_parameters
@@ -103,6 +104,7 @@ class KPlexEnumerator:
         # degeneracy ordering come from the prepared-graph index, so repeated
         # runs on the same graph object skip this work entirely; the time the
         # lookups actually take is recorded as preprocessing.
+        preprocess_span = start_span("preprocess", core_level=q - k)
         started = time.perf_counter()
         self._prepared_core, self._core_map = prepare(graph).prepared_core(q - k)
         self._core_graph = self._prepared_core.graph
@@ -113,6 +115,10 @@ class KPlexEnumerator:
         preprocess = time.perf_counter() - started
         self.statistics.preprocess_seconds += preprocess
         self.statistics.elapsed_seconds += preprocess
+        if preprocess_span is not None:
+            preprocess_span.set(
+                core_vertices=self._core_graph.num_vertices
+            ).finish()
 
     # ------------------------------------------------------------------ #
     # Properties describing the preprocessed search space
@@ -154,6 +160,9 @@ class KPlexEnumerator:
 
     def iter_results(self) -> Iterator[KPlex]:
         """Lazily yield maximal k-plexes (order follows the seed ordering)."""
+        # The span parent is whatever is active when the first result is
+        # pulled (the engine consumes this generator on the same thread).
+        search_span = start_span("search")
         started = time.perf_counter()
         # try/finally so abandoned generators (early cancellation, timeout,
         # result budgets) still record the time they consumed.
@@ -175,6 +184,8 @@ class KPlexEnumerator:
                     # Replay: the seed subgraphs were built by a previous run
                     # with the same (graph, epoch, k, q, config); contexts
                     # are read-only during the search, so sharing is safe.
+                    if search_span is not None:
+                        search_span.set(seed_context_replay=True)
                     for context in cached:
                         yield from self._mine_context(context)
                 else:
@@ -210,6 +221,12 @@ class KPlexEnumerator:
             duration = time.perf_counter() - started
             self.statistics.search_seconds += duration
             self.statistics.elapsed_seconds += duration
+            if search_span is not None:
+                search_span.set(
+                    seeds=self.statistics.seeds,
+                    branch_calls=self.statistics.branch_calls,
+                    outputs=self.statistics.outputs,
+                ).finish()
 
     def run(self) -> EnumerationResult:
         """Enumerate all maximal k-plexes and return the collected result."""

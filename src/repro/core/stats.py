@@ -9,8 +9,19 @@ cost model consumed by the simulated parallel scheduler
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict
+
+#: Upper bound on entries kept in ``per_seed_branch_calls``.  Long-lived
+#: servers accumulate stats objects (result caches hold them per response),
+#: so per-seed tracking keeps only the heaviest seeds once a run exceeds
+#: this many: exactly the ones worth looking at when diagnosing skew.
+PER_SEED_TOP_N = 64
+
+#: Pruning is amortised: the dict may transiently grow to this many entries
+#: before being cut back to :data:`PER_SEED_TOP_N`.
+_PER_SEED_PRUNE_AT = 4 * PER_SEED_TOP_N
 
 
 @dataclass
@@ -40,13 +51,17 @@ class SearchStatistics:
     pool_recoveries: int = 0
     task_retries: int = 0
     serial_fallbacks: int = 0
+    # Bounded to the PER_SEED_TOP_N heaviest seeds (see _prune_per_seed);
+    # per_seed_dropped counts entries discarded by that cap.
     per_seed_branch_calls: Dict[int, int] = field(default_factory=dict)
+    per_seed_dropped: int = 0
 
     def record_seed(self, seed_vertex: int, subgraph_size: int) -> None:
         """Record that a seed subgraph with ``subgraph_size`` vertices was built."""
         self.seeds += 1
         self.seed_subgraph_vertices += subgraph_size
         self.per_seed_branch_calls.setdefault(seed_vertex, 0)
+        self._prune_per_seed()
 
     def record_branch(self, seed_vertex: int) -> None:
         """Record one invocation of the branch-and-bound body for ``seed_vertex``."""
@@ -55,6 +70,27 @@ class SearchStatistics:
             self.per_seed_branch_calls[seed_vertex] += 1
         else:
             self.per_seed_branch_calls[seed_vertex] = 1
+            self._prune_per_seed()
+
+    def _prune_per_seed(self) -> None:
+        if len(self.per_seed_branch_calls) < _PER_SEED_PRUNE_AT:
+            return
+        kept = heapq.nlargest(
+            PER_SEED_TOP_N,
+            self.per_seed_branch_calls.items(),
+            key=lambda item: (item[1], item[0]),
+        )
+        self.per_seed_dropped += len(self.per_seed_branch_calls) - len(kept)
+        self.per_seed_branch_calls = dict(kept)
+
+    def top_seed_branch_calls(self, limit: int = PER_SEED_TOP_N) -> Dict[int, int]:
+        """The ``limit`` seeds with the most branch calls (descending)."""
+        ranked = heapq.nlargest(
+            max(0, limit),
+            self.per_seed_branch_calls.items(),
+            key=lambda item: (item[1], item[0]),
+        )
+        return dict(ranked)
 
     def merge(self, other: "SearchStatistics") -> "SearchStatistics":
         """Accumulate ``other`` into this object (used by the parallel executor)."""
@@ -77,6 +113,8 @@ class SearchStatistics:
         self.serial_fallbacks += other.serial_fallbacks
         for seed, calls in other.per_seed_branch_calls.items():
             self.per_seed_branch_calls[seed] = self.per_seed_branch_calls.get(seed, 0) + calls
+        self.per_seed_dropped += other.per_seed_dropped
+        self._prune_per_seed()
         return self
 
     def as_dict(self) -> Dict[str, float]:

@@ -251,9 +251,13 @@ class Job:
         result_buffer: Optional[int] = None,
         ttl_seconds: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
+        request_id: Optional[str] = None,
     ) -> None:
         self.id = job_id
         self.request = request
+        # The trace id of the job's own run; submitting over HTTP links it
+        # to the submit request via the trace's parent_request_id attribute.
+        self.request_id = request_id or job_id
         self.spec = dict(spec)
         self.ttl_seconds = ttl_seconds
         self.results = ResultLog(limit=result_buffer)
@@ -371,6 +375,7 @@ class Job:
             record: Dict[str, object] = {
                 "id": self.id,
                 "state": self.state,
+                "request_id": self.request_id,
                 "spec": dict(self.spec),
                 "created_at": self.created_at,
                 "started_at": self.started_at,

@@ -26,7 +26,7 @@ from __future__ import annotations
 import threading
 import time
 import uuid
-from collections import OrderedDict, deque
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
@@ -39,7 +39,8 @@ from ..errors import (
     ServiceClosedError,
 )
 from ..graph import Graph
-from ..service.service import KPlexService, _percentile
+from ..obs import Trace, TraceRecorder, activate, current_trace, log_event
+from ..service.service import KPlexService
 from .job import (
     JOB_CANCELLED,
     JOB_FAILED,
@@ -76,7 +77,9 @@ class JobManagerConfig:
         Hard cap on retained job records (terminal ones evicted oldest
         first beyond it).
     latency_window:
-        Samples kept for the time-to-first-result p50/p95 estimates.
+        Retained for compatibility.  Time-to-first-result percentiles now
+        come from a fixed-bucket histogram in the service's telemetry
+        registry; the knob no longer bounds anything.
     """
 
     max_concurrent: int = 2
@@ -131,10 +134,14 @@ class JobManager:
         service: KPlexService,
         config: Optional[JobManagerConfig] = None,
         clock: Callable[[], float] = time.monotonic,
+        recorder: Optional[TraceRecorder] = None,
     ) -> None:
         self.service = service
         self.config = config or JobManagerConfig()
         self._clock = clock
+        # Completed job traces are published here (the HTTP server passes
+        # its ring buffer, making them retrievable via /v1/trace/<id>).
+        self._recorder = recorder
         self._jobs: "OrderedDict[str, Job]" = OrderedDict()
         self._lock = threading.Lock()
         self._pool: Optional[object] = None
@@ -148,7 +155,10 @@ class JobManager:
         self._cancelled = 0
         self._expired = 0
         self._evicted = 0
-        self._ttfr: "deque[float]" = deque(maxlen=self.config.latency_window)
+        self._ttfr = service.telemetry.histogram(
+            "job_ttfr_seconds",
+            help_text="Time from job submission to its first streamed result",
+        )
 
     # ------------------------------------------------------------------ #
     # Submission
@@ -240,7 +250,18 @@ class JobManager:
             )
             self._jobs[job.id] = job
             self._submitted += 1
-        self._ensure_pool().submit(self._run, job)
+        # Jobs outlive the submitting request: each run gets its own trace
+        # (request_id = job id) that remembers the submitter's request_id.
+        parent = current_trace()
+        log_event(
+            "job_submitted",
+            job_id=job.id,
+            graph=spec.get("graph"),
+            solver=spec.get("solver"),
+        )
+        self._ensure_pool().submit(
+            self._run, job, parent.request_id if parent is not None else None
+        )
         return job
 
     # ------------------------------------------------------------------ #
@@ -342,7 +363,6 @@ class JobManager:
                 by_state[job.state] += 1
                 buffered += job.results.buffered
                 dropped += job.results.dropped
-            ttfr = sorted(self._ttfr)
             snapshot: Dict[str, object] = {
                 "submitted": self._submitted,
                 "rejected": self._rejected,
@@ -356,12 +376,12 @@ class JobManager:
                 "running": by_state[JOB_RUNNING],
                 "buffered_results": buffered,
                 "dropped_results": dropped,
-                "ttfr_samples": len(ttfr),
+                "ttfr_samples": self._ttfr.count,
             }
-            if ttfr:
-                snapshot["time_to_first_result_p50_seconds"] = _percentile(ttfr, 0.50)
-                snapshot["time_to_first_result_p95_seconds"] = _percentile(ttfr, 0.95)
-            return snapshot
+        if self._ttfr.count:
+            snapshot["time_to_first_result_p50_seconds"] = self._ttfr.quantile(0.50)
+            snapshot["time_to_first_result_p95_seconds"] = self._ttfr.quantile(0.95)
+        return snapshot
 
     def summary(self) -> Dict[str, object]:
         """Compact job-table summary for drain-time snapshots."""
@@ -437,14 +457,40 @@ class JobManager:
             "kplex": list(plex.labels),
         }
 
-    def _run(self, job: Job) -> None:
+    def _run(self, job: Job, parent_request_id: Optional[str] = None) -> None:
+        # Each job runs under its own trace, keyed by the job's request_id
+        # (= job id), so /v1/trace/<job id> shows the async work; the
+        # submitting HTTP request is linked via parent_request_id.
+        if self._recorder is None:
+            # Tracing disabled: no recorder means nobody can ever read the
+            # trace, so skip the span bookkeeping entirely.
+            self._run_traced(job)
+            return
+        trace = Trace(request_id=job.request_id)
+        root = trace.span("job", job_id=job.id)
+        if parent_request_id is not None:
+            root.set(parent_request_id=parent_request_id)
+        # Registered live (same reason as the HTTP handler): a poller that
+        # sees the terminal state must already find the trace, and running
+        # jobs stay inspectable under /v1/trace/<job id>.
+        self._recorder.record(trace)
+        try:
+            with activate(root):
+                self._run_traced(job)
+        finally:
+            root.finish()
+            trace.finish()
+
+    def _run_traced(self, job: Job) -> None:
         breaker = self.service.breaker
         if not job.try_start():
             # Cancelled while queued; the admission slot frees here (and so
             # does any half-open probe slot the job held).
             if breaker is not None:
                 breaker.cancel_probe()
+            log_event("job_cancelled_before_start", job_id=job.id)
             return
+        log_event("job_started", job_id=job.id)
         try:
             iterator, outcome = self.service.stream_run(
                 job.request, cancel=job.cancel_token
@@ -453,8 +499,7 @@ class JobManager:
             for plex in iterator:
                 job.note_result()
                 if job.first_result_seconds is not None and index == 0:
-                    with self._lock:
-                        self._ttfr.append(job.first_result_seconds)
+                    self._ttfr.observe(job.first_result_seconds)
                 appended = job.results.append(
                     self._encode(index, plex),
                     should_abort=lambda: job.cancel_token.cancelled,
@@ -468,6 +513,7 @@ class JobManager:
                 self._failed += 1
             if breaker is not None and not isinstance(exc, ParameterError):
                 breaker.record_failure()
+            log_event("job_failed", job_id=job.id, error=type(exc).__name__)
             return
         statistics = None
         run = outcome.run
@@ -489,6 +535,7 @@ class JobManager:
             # release any probe slot so the breaker can settle.
             if breaker is not None:
                 breaker.cancel_probe()
+            log_event("job_cancelled", job_id=job.id, results=job.result_count)
         else:
             job.finish(
                 JOB_SUCCEEDED,
@@ -500,3 +547,10 @@ class JobManager:
                 self._succeeded += 1
             if breaker is not None:
                 breaker.record_success()
+            log_event(
+                "job_succeeded",
+                job_id=job.id,
+                results=job.result_count,
+                termination=outcome.termination,
+                elapsed_seconds=outcome.elapsed_seconds,
+            )

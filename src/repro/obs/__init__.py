@@ -1,0 +1,73 @@
+"""Observability primitives: request tracing, metrics, structured events.
+
+The package is intentionally stdlib-only.  It provides three legs that the
+serving stack threads through every layer:
+
+``repro.obs.trace``
+    Request-scoped traces with hierarchical spans, propagated via
+    contextvars across thread pools and stitched across process pools.
+
+``repro.obs.metrics``
+    Fixed-bucket histograms plus counter/gauge registries rendered as real
+    Prometheus ``_bucket``/``_sum``/``_count`` series.
+
+``repro.obs.events``
+    A ``repro.obs`` JSON log pipeline emitting one event per request, job,
+    and lifecycle transition, carrying the active ``request_id``.
+"""
+
+from .trace import (
+    Span,
+    Trace,
+    TraceRecorder,
+    activate,
+    attach_span_record,
+    current_span,
+    current_trace,
+    new_request_id,
+    span,
+    span_record,
+    start_span,
+)
+from .metrics import (
+    Counter,
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    escape_label_value,
+    format_labels,
+)
+from .events import (
+    JsonLineFormatter,
+    configure_event_logging,
+    log_event,
+    remove_event_handler,
+)
+
+__all__ = [
+    "Span",
+    "Trace",
+    "TraceRecorder",
+    "activate",
+    "attach_span_record",
+    "current_span",
+    "current_trace",
+    "new_request_id",
+    "span",
+    "span_record",
+    "start_span",
+    "Counter",
+    "DEFAULT_COUNT_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "escape_label_value",
+    "format_labels",
+    "JsonLineFormatter",
+    "configure_event_logging",
+    "log_event",
+    "remove_event_handler",
+]

@@ -1,0 +1,507 @@
+"""Request-scoped tracing with hierarchical spans.
+
+A :class:`Trace` is created once per request (HTTP handler, job run, or
+library caller) and carries a ``request_id``.  Spans form a tree rooted at
+the request span; the active span is propagated through ``contextvars`` so
+nested layers (service, engine, enumerator) can attach children without
+plumbing a trace object through every signature.
+
+Two boundaries need explicit help:
+
+* **Thread pools** do not inherit the submitting thread's context.  Callers
+  capture ``current_span()`` at submit time and re-enter it in the worker
+  via :func:`activate`.
+* **Process pools** cannot share a context at all.  Workers build plain
+  dict ``span_record``\\ s (wall-clock start/end) that ride back alongside
+  results; the driver stitches them under its own span with
+  :func:`attach_span_record`.
+
+Every helper degrades to a cheap no-op when no trace is active, so library
+use without a server pays almost nothing.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import os
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "MAX_SPANS_PER_TRACE",
+    "Span",
+    "Trace",
+    "TraceRecorder",
+    "activate",
+    "attach_span_record",
+    "current_span",
+    "current_trace",
+    "new_request_id",
+    "span",
+    "span_record",
+    "start_span",
+]
+
+#: Hard cap on recorded spans per trace.  Beyond it new spans are counted in
+#: ``Trace.dropped_spans`` instead of stored, bounding memory on requests
+#: that fan out to thousands of seeds.
+MAX_SPANS_PER_TRACE = 512
+
+
+def new_request_id() -> str:
+    """Return a fresh opaque request identifier (hex, URL-safe)."""
+
+    return uuid.uuid4().hex
+
+
+class Span:
+    """One timed operation inside a :class:`Trace`.
+
+    ``start_time``/``end_time`` are wall-clock seconds so spans stitched
+    from other processes line up with locally measured ones.  Locally
+    started spans additionally anchor on a monotonic clock so durations
+    are immune to wall-clock steps.
+    """
+
+    __slots__ = (
+        "trace",
+        "name",
+        "span_id",
+        "parent_id",
+        "start_time",
+        "end_time",
+        "status",
+        "attributes",
+        "_start_mono",
+        "recorded",
+    )
+
+    def __init__(
+        self,
+        trace: "Trace",
+        name: str,
+        span_id: str,
+        parent_id: Optional[str] = None,
+        start_time: Optional[float] = None,
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.trace = trace
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        if start_time is None:
+            # One clock read: wall-clock start is derived from the trace's
+            # paired wall/monotonic anchor (hot-path economy).
+            mono = time.monotonic()
+            self._start_mono: Optional[float] = mono
+            self.start_time = trace.created_at + (mono - trace._mono_base)
+        else:
+            self.start_time = float(start_time)
+            self._start_mono = None
+        self.end_time: Optional[float] = None
+        self.status = "ok"
+        # The dict is owned, not copied: every caller passes a fresh one.
+        self.attributes: Dict[str, Any] = (
+            attributes if attributes is not None else {}
+        )
+        self.recorded = True
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach attributes; returns self for chaining."""
+
+        self.attributes.update(attributes)
+        return self
+
+    def finish(
+        self, status: str = "ok", end_time: Optional[float] = None
+    ) -> "Span":
+        """Close the span (idempotent: the first finish wins)."""
+
+        if self.end_time is not None:
+            return self
+        if end_time is not None:
+            self.end_time = float(end_time)
+        elif self._start_mono is not None:
+            self.end_time = self.start_time + (time.monotonic() - self._start_mono)
+        else:
+            self.end_time = time.time()
+        self.status = status
+        return self
+
+    @property
+    def duration_ms(self) -> Optional[float]:
+        if self.end_time is None:
+            return None
+        return max(0.0, (self.end_time - self.start_time) * 1000.0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "span_id": self.span_id,
+            "name": self.name,
+            "start_time": round(self.start_time, 6),
+            "status": self.status,
+        }
+        if self.parent_id is not None:
+            payload["parent_id"] = self.parent_id
+        if self.end_time is not None:
+            payload["duration_ms"] = round(self.duration_ms or 0.0, 3)
+        if self.attributes:
+            payload["attributes"] = dict(self.attributes)
+        return payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id})"
+
+
+class _NoopSpan:
+    """Stand-in yielded by :func:`span` when no trace is active."""
+
+    __slots__ = ()
+    trace = None
+    name = "noop"
+    span_id = ""
+    parent_id = None
+    start_time = 0.0
+    end_time = 0.0
+    status = "ok"
+    attributes: Dict[str, Any] = {}
+    duration_ms = None
+    recorded = False
+
+    def set(self, **attributes: Any) -> "_NoopSpan":
+        return self
+
+    def finish(self, status: str = "ok", end_time: Optional[float] = None) -> "_NoopSpan":
+        return self
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Trace:
+    """A tree of spans sharing one ``request_id``.  Thread-safe.
+
+    Span creation is deliberately lock-free: ``list.append`` and
+    ``itertools.count`` are atomic under the GIL, so the hot path never
+    contends.  The lock only guards the rare overflow counter and gives
+    readers (:meth:`to_dict`, :meth:`tree`) a consistent snapshot point.
+    """
+
+    def __init__(
+        self,
+        request_id: Optional[str] = None,
+        max_spans: int = MAX_SPANS_PER_TRACE,
+    ) -> None:
+        self.request_id = request_id or new_request_id()
+        self.max_spans = max(1, int(max_spans))
+        self.created_at = time.time()
+        self._mono_base = time.monotonic()
+        self.dropped_spans = 0
+        self.spans: List[Span] = []
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+
+    def span(
+        self,
+        name: str,
+        parent: Optional[Span] = None,
+        start_time: Optional[float] = None,
+        **attributes: Any,
+    ) -> Span:
+        """Create (and register) a new span.
+
+        When the per-trace cap is hit the span is still returned — callers
+        can keep timing and parenting off it — but it is not stored and
+        ``dropped_spans`` is bumped instead.
+        """
+
+        return self._new_span(name, parent, start_time, attributes or None)
+
+    def _new_span(
+        self,
+        name: str,
+        parent: Optional[Span],
+        start_time: Optional[float],
+        attributes: Optional[Dict[str, Any]],
+    ) -> Span:
+        parent_id = parent.span_id if parent is not None and parent.recorded else None
+        created = Span(
+            self,
+            name,
+            span_id=f"s{next(self._ids)}",
+            parent_id=parent_id,
+            start_time=start_time,
+            attributes=attributes,
+        )
+        if len(self.spans) < self.max_spans:
+            self.spans.append(created)
+        else:
+            with self._lock:
+                self.dropped_spans += 1
+            created.recorded = False
+        return created
+
+    @property
+    def root(self) -> Optional[Span]:
+        with self._lock:
+            return self.spans[0] if self.spans else None
+
+    @property
+    def duration_ms(self) -> Optional[float]:
+        root = self.root
+        return root.duration_ms if root is not None else None
+
+    def finish(self, status: str = "ok") -> "Trace":
+        """Finish any still-open recorded spans (root last)."""
+
+        with self._lock:
+            open_spans = [s for s in self.spans if s.end_time is None]
+        for item in reversed(open_spans):
+            item.finish(status)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            spans = [s.to_dict() for s in self.spans]
+        payload: Dict[str, Any] = {
+            "request_id": self.request_id,
+            "created_at": round(self.created_at, 6),
+            "spans": spans,
+        }
+        duration = self.duration_ms
+        if duration is not None:
+            payload["duration_ms"] = round(duration, 3)
+        if self.dropped_spans:
+            payload["dropped_spans"] = self.dropped_spans
+        return payload
+
+    def tree(self) -> List[Dict[str, Any]]:
+        """Spans nested by parent: a list of root dicts with ``children``."""
+
+        with self._lock:
+            spans = [s.to_dict() for s in self.spans]
+        by_id: Dict[str, Dict[str, Any]] = {}
+        for item in spans:
+            item["children"] = []
+            by_id[item["span_id"]] = item
+        roots: List[Dict[str, Any]] = []
+        for item in spans:
+            parent = by_id.get(item.get("parent_id", ""))
+            if parent is not None:
+                parent["children"].append(item)
+            else:
+                roots.append(item)
+        return roots
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Trace({self.request_id!r}, spans={len(self.spans)})"
+
+
+# --------------------------------------------------------------------------- #
+# Context propagation
+# --------------------------------------------------------------------------- #
+_ACTIVE_SPAN: "contextvars.ContextVar[Optional[Span]]" = contextvars.ContextVar(
+    "repro_obs_active_span", default=None
+)
+
+
+def current_span() -> Optional[Span]:
+    """The span active in this context, or None outside any trace."""
+
+    return _ACTIVE_SPAN.get()
+
+
+def current_trace() -> Optional[Trace]:
+    """The trace active in this context, or None outside any trace."""
+
+    active = _ACTIVE_SPAN.get()
+    return active.trace if active is not None else None
+
+
+class activate:
+    """Force ``target`` to be the active span for the duration of the block.
+
+    This is the thread-boundary primitive: capture ``current_span()`` where
+    work is submitted, then ``with activate(captured):`` inside the pool
+    worker.  ``activate(None)`` masks any inherited context.
+
+    A hand-rolled context manager (not ``@contextmanager``): this sits on
+    the hot serving path, and a plain class with ``__slots__`` costs less
+    than half of the generator protocol.
+    """
+
+    __slots__ = ("_target", "_token")
+
+    def __init__(self, target: Optional[Span]) -> None:
+        self._target = target
+
+    def __enter__(self) -> Optional[Span]:
+        self._token = _ACTIVE_SPAN.set(self._target)
+        return self._target
+
+    def __exit__(self, *_exc_info: object) -> None:
+        _ACTIVE_SPAN.reset(self._token)
+
+
+class span:
+    """Open a child of the active span for the duration of the block.
+
+    No-op (yields the shared inert span) when no trace is active, so hot
+    paths can use it unconditionally.  Class-based for the same hot-path
+    reason as :class:`activate`.
+    """
+
+    __slots__ = ("_name", "_attributes", "_child", "_token")
+
+    def __init__(self, name: str, **attributes: Any) -> None:
+        self._name = name
+        self._attributes = attributes
+
+    def __enter__(self) -> Span:
+        parent = _ACTIVE_SPAN.get()
+        if parent is None:
+            self._child = None
+            return NOOP_SPAN  # type: ignore[return-value]
+        child = parent.trace._new_span(
+            self._name, parent, None, self._attributes or None
+        )
+        self._child = child
+        self._token = _ACTIVE_SPAN.set(child)
+        return child
+
+    def __exit__(self, exc_type: object, *_exc_info: object) -> None:
+        child = self._child
+        if child is None:
+            return
+        child.finish("error" if exc_type is not None else "ok")
+        _ACTIVE_SPAN.reset(self._token)
+
+
+def start_span(name: str, **attributes: Any) -> Optional[Span]:
+    """Start a child of the active span *without* activating it.
+
+    Generator-safe: the caller owns the span and must ``finish()`` it.
+    Returns None when no trace is active.
+    """
+
+    parent = _ACTIVE_SPAN.get()
+    if parent is None:
+        return None
+    return parent.trace._new_span(name, parent, None, attributes or None)
+
+
+# --------------------------------------------------------------------------- #
+# Cross-process stitching
+# --------------------------------------------------------------------------- #
+def span_record(
+    name: str, start: float, end: float, **attributes: Any
+) -> Dict[str, Any]:
+    """Build a plain-dict span usable from a worker process.
+
+    The record is picklable and carries the worker pid; the driver turns it
+    back into a real span with :func:`attach_span_record`.
+    """
+
+    record: Dict[str, Any] = {
+        "name": name,
+        "start": float(start),
+        "end": float(end),
+        "pid": os.getpid(),
+    }
+    if attributes:
+        record.update(attributes)
+    return record
+
+
+def attach_span_record(
+    record: Dict[str, Any], parent: Optional[Span] = None
+) -> Optional[Span]:
+    """Stitch a worker-produced span record under ``parent``.
+
+    Defaults to the active span; returns None (and does nothing) when there
+    is no trace to attach to.
+    """
+
+    parent = parent if parent is not None else _ACTIVE_SPAN.get()
+    if parent is None or parent.trace is None:
+        return None
+    attributes = {
+        key: value
+        for key, value in record.items()
+        if key not in ("name", "start", "end")
+    }
+    stitched = parent.trace.span(
+        str(record.get("name", "worker")),
+        parent=parent,
+        start_time=float(record.get("start", parent.start_time)),
+        **attributes,
+    )
+    stitched.finish(end_time=float(record.get("end", stitched.start_time)))
+    return stitched
+
+
+# --------------------------------------------------------------------------- #
+# Completed-trace ring buffer
+# --------------------------------------------------------------------------- #
+class TraceRecorder:
+    """Bounded buffer of traces, addressable by request_id.
+
+    Traces are registered when their request *starts* (the objects keep
+    accumulating spans in place), so in-flight work is already visible and
+    a client can fetch its own trace the moment it holds the response.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._capacity = int(capacity)
+        self._traces: "OrderedDict[str, Trace]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def record(self, trace: Trace) -> None:
+        with self._lock:
+            if trace.request_id in self._traces:
+                self._traces.move_to_end(trace.request_id)
+            self._traces[trace.request_id] = trace
+            while len(self._traces) > self._capacity:
+                self._traces.popitem(last=False)
+
+    def get(self, request_id: str) -> Optional[Trace]:
+        with self._lock:
+            return self._traces.get(request_id)
+
+    def list(
+        self, min_ms: Optional[float] = None, limit: Optional[int] = None
+    ) -> List[Trace]:
+        """Recorded traces, newest first, optionally filtered by duration.
+
+        A ``min_ms`` filter drops still-running traces (no duration yet).
+        """
+
+        with self._lock:
+            traces = list(self._traces.values())
+        traces.reverse()
+        if min_ms is not None:
+            traces = [
+                t for t in traces
+                if t.duration_ms is not None and t.duration_ms >= min_ms
+            ]
+        if limit is not None:
+            traces = traces[: max(0, int(limit))]
+        return traces
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)

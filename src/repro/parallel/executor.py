@@ -43,6 +43,7 @@ from ..graph.shared import (
     attach_prepared,
     shared_memory_available,
 )
+from ..obs import attach_span_record, span, span_record, start_span
 from ..resilience import PoolSupervisor, RetryPolicy, fault_injector, resilience_stats
 
 logger = logging.getLogger("repro.resilience")
@@ -158,7 +159,31 @@ def _mine_seed(seed_vertex: int) -> Tuple[List[Tuple[int, ...]], Dict[str, float
 def _mine_seed_with_state(
     state: _WorkerState, seed_vertex: int
 ) -> Tuple[List[Tuple[int, ...]], Dict[str, float]]:
-    """Mine the whole task group of one seed vertex inside a worker."""
+    """Mine the whole task group of one seed vertex inside a worker.
+
+    The returned stats dict additionally carries a ``"_span"`` record —
+    wall-clock start/end plus the worker pid — that the driver stitches
+    into the request trace.  Workers cannot share the driver's contextvars,
+    so the span rides the existing result channel; ``_stats_from_dict``
+    ignores the key, keeping the wire format backward compatible.
+    """
+    started_wall = time.time()
+    results, stats = _mine_seed_body(state, seed_vertex)
+    payload: Dict[str, float] = stats.as_dict()
+    payload["_span"] = span_record(  # type: ignore[assignment]
+        "mine_seed",
+        started_wall,
+        time.time(),
+        seed=seed_vertex,
+        branch_calls=stats.branch_calls,
+        outputs=len(results),
+    )
+    return results, payload
+
+
+def _mine_seed_body(
+    state: _WorkerState, seed_vertex: int
+) -> Tuple[List[Tuple[int, ...]], SearchStatistics]:
     graph = state.prepared.graph
     k = state.k
     q = state.q
@@ -170,7 +195,7 @@ def _mine_seed_with_state(
     results: List[Tuple[int, ...]] = []
     context = build_seed_context(graph, position, seed_vertex, k, q, config, stats)
     if context is None:
-        return results, stats.as_dict()
+        return results, stats
 
     pending: deque = deque()
     searcher = BranchSearcher(
@@ -191,7 +216,7 @@ def _mine_seed_with_state(
         # re-run as fresh tasks with a new deadline each.
         while pending:
             searcher.run_state(pending.popleft())
-    return results, stats.as_dict()
+    return results, stats
 
 
 def _mine_seed_faulted(
@@ -257,17 +282,22 @@ def _enumerate_parallel(
     # Graph-level preprocessing, all served by (and cached in) the prepared
     # index: core shrinking, degeneracy ordering and the CSR arrays that are
     # shipped to the workers.
+    preprocess_span = start_span("preprocess", core_level=q - k)
     prepared_core, core_map = prepare(graph).prepared_core(q - k)
     core_graph = prepared_core.graph
     merged_stats = SearchStatistics()
     merged_stats.preprocess_seconds = time.perf_counter() - started
+    if preprocess_span is not None:
+        preprocess_span.set(core_vertices=core_graph.num_vertices).finish()
     kplexes: List[KPlex] = []
 
     if core_graph.num_vertices >= q:
-        seeds = prepared_core.decomposition.order
-        # Materialise the position index before pickling so no worker
-        # recomputes the ordering; this is still preprocessing time.
-        prepared_core.position
+        with span("seed_generation") as seed_span:
+            seeds = prepared_core.decomposition.order
+            # Materialise the position index before pickling so no worker
+            # recomputes the ordering; this is still preprocessing time.
+            prepared_core.position
+            seed_span.set(seeds=len(seeds))
         merged_stats.preprocess_seconds = time.perf_counter() - started
         stage = parallel.stage_size or parallel.num_workers
         shared_payload = None
@@ -362,11 +392,24 @@ def _enumerate_parallel(
                     max_pool_failures=parallel.max_pool_failures,
                     label="parallel process pool",
                 )
-                outcomes, report = supervisor.run(seeds)
+                with span(
+                    "search", mode="processes", seeds=len(seeds), stage_size=stage
+                ) as search_span:
+                    outcomes, report = supervisor.run(seeds)
+                    search_span.set(
+                        pool_recoveries=report.pool_recoveries,
+                        task_retries=report.task_retries,
+                    )
                 merged_stats.pool_recoveries = report.pool_recoveries
                 merged_stats.task_retries = report.task_retries
                 merged_stats.serial_fallbacks = 1 if report.degraded_serial else 0
                 for seed_results, stats_dict in outcomes:
+                    # Worker span records ride the stats dict across the
+                    # process boundary; re-parent them under the search
+                    # span so worker time lands in the right subtree.
+                    record = stats_dict.pop("_span", None)
+                    if record is not None and search_span.recorded:
+                        attach_span_record(record, parent=search_span)
                     merged_stats.merge(_stats_from_dict(stats_dict))
                     for core_vertices in seed_results:
                         original = [core_map[v] for v in core_vertices]
@@ -386,20 +429,32 @@ def _enumerate_parallel(
                 mine = partial(_mine_seed_with_state, _WorkerState(*init_args))
                 pool = ThreadPoolExecutor(max_workers=parallel.num_workers)
                 try:
-                    for start in range(0, len(seeds), stage):
-                        block = seeds[start : start + stage]
-                        for seed_results, stats_dict in pool.map(mine, block):
-                            merged_stats.merge(_stats_from_dict(stats_dict))
-                            for core_vertices in seed_results:
-                                original = [core_map[v] for v in core_vertices]
-                                kplexes.append(KPlex.from_vertices(graph, original, k))
+                    with span(
+                        "search", mode="threads", seeds=len(seeds), stage_size=stage
+                    ):
+                        for start in range(0, len(seeds), stage):
+                            block = seeds[start : start + stage]
+                            with span(
+                                "seed_batch", offset=start, size=len(block)
+                            ) as batch_span:
+                                for seed_results, stats_dict in pool.map(mine, block):
+                                    record = stats_dict.pop("_span", None)
+                                    if record is not None and batch_span.recorded:
+                                        attach_span_record(record, parent=batch_span)
+                                    merged_stats.merge(_stats_from_dict(stats_dict))
+                                    for core_vertices in seed_results:
+                                        original = [core_map[v] for v in core_vertices]
+                                        kplexes.append(
+                                            KPlex.from_vertices(graph, original, k)
+                                        )
                 finally:
                     pool.shutdown()
         finally:
             if shared_payload is not None:
                 shared_payload.unlink()
 
-    kplexes.sort(key=lambda plex: (plex.size, plex.vertices))
+    with span("merge", results=len(kplexes)):
+        kplexes.sort(key=lambda plex: (plex.size, plex.vertices))
     merged_stats.elapsed_seconds = time.perf_counter() - started
     merged_stats.search_seconds = (
         merged_stats.elapsed_seconds - merged_stats.preprocess_seconds

@@ -18,9 +18,12 @@ All methods are thread-safe.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from typing import Callable, Dict, Optional
+
+from ..obs import log_event
 
 STATE_CLOSED = "closed"
 STATE_OPEN = "open"
@@ -82,11 +85,17 @@ class CircuitBreaker:
     # Outcome reporting
     # ------------------------------------------------------------------ #
     def record_success(self) -> None:
+        closed = False
         with self._lock:
             self._consecutive_failures = 0
             if self._state != STATE_CLOSED:
                 self._state = STATE_CLOSED
                 self._probe_in_flight = False
+                closed = True
+        if closed:
+            # Emitted outside the lock: event handlers must never be able
+            # to re-enter breaker state.
+            log_event("breaker_closed")
 
     def cancel_probe(self) -> None:
         """Release the half-open probe slot without recording an outcome.
@@ -100,16 +109,27 @@ class CircuitBreaker:
                 self._probe_in_flight = False
 
     def record_failure(self) -> None:
+        tripped = False
         with self._lock:
             self._consecutive_failures += 1
+            failures = self._consecutive_failures
             if self._state == STATE_HALF_OPEN:
                 # The probe failed: back to a full cooldown window.
                 self._trip()
+                tripped = True
             elif (
                 self._state == STATE_CLOSED
                 and self._consecutive_failures >= self.failure_threshold
             ):
                 self._trip()
+                tripped = True
+        if tripped:
+            log_event(
+                "breaker_open",
+                level=logging.WARNING,
+                consecutive_failures=failures,
+                cooldown_seconds=self.cooldown_seconds,
+            )
 
     def _trip(self) -> None:
         self._state = STATE_OPEN

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import PoisonTaskError
+from ..obs import log_event
 from .retry import RetryPolicy
 from .stats import resilience_stats
 
@@ -183,6 +184,14 @@ class PoolSupervisor:
                         ) from exc
                     report.task_retries += 1
                     stats.increment("task_retries")
+                    log_event(
+                        "task_retried",
+                        level=logging.WARNING,
+                        pool=self._label,
+                        error=type(exc).__name__,
+                        attempt=error_counts[idx],
+                        max_attempts=self._retry.max_attempts,
+                    )
                     logger.warning(
                         "resilience: task %r raised %s (attempt %d/%d); retrying",
                         item, type(exc).__name__,
@@ -202,6 +211,13 @@ class PoolSupervisor:
                 report.crash_suspects = [item for _, item in suspects]
                 stats.increment("serial_fallbacks")
                 stats.set_pool_degraded(True)
+                log_event(
+                    "serial_fallback",
+                    level=logging.WARNING,
+                    pool=self._label,
+                    remaining_tasks=len(queue) + len(suspects),
+                    pool_failures=report.pool_failures,
+                )
                 logger.warning(
                     "resilience: %s degraded to in-process serial execution "
                     "for %d remaining task(s) after %d pool failure(s)",
@@ -273,6 +289,13 @@ class PoolSupervisor:
             return False
         report.pool_recoveries += 1
         stats.increment("pool_recoveries")
+        log_event(
+            "pool_recovered",
+            level=logging.WARNING,
+            pool=self._label,
+            pool_failures=report.pool_failures,
+            lost_tasks=len(lost),
+        )
         logger.warning(
             "resilience: %s rebuilt; retrying %d lost task(s)",
             self._label, len(lost),

@@ -28,6 +28,7 @@ from typing import Callable, Optional, Union
 
 from ..errors import ParameterError, SnapshotError
 from ..jobs import DRAIN_POLICIES, DRAIN_WAIT, JobManager, JobManagerConfig
+from ..obs import TraceRecorder
 from ..service import KPlexService
 from .handlers import KPlexRequestHandler
 from .persistence import WarmStartReport, save_snapshot, warm_start
@@ -69,6 +70,18 @@ class KPlexHTTPServer(ThreadingHTTPServer):
         them finish, ``"cancel"`` stops them cooperatively.  Streaming
         clients always receive a well-formed final NDJSON record either
         way.
+    trace_capacity:
+        How many completed request/job traces the in-memory ring buffer
+        behind ``GET /v1/trace`` retains (oldest evicted first).  ``0``
+        disables per-request tracing entirely (spans degrade to no-ops
+        and the ``/v1/trace`` routes answer 503).
+    access_log_format:
+        ``"plain"`` for the classic one-line access log, ``"json"`` for
+        one JSON object per request (same fields as the ``http_request``
+        telemetry event).
+    slow_request_threshold:
+        Seconds; a request slower than this emits a ``slow_request``
+        WARNING event carrying its full span tree.  ``None`` disables it.
     """
 
     # Handler threads are joined on server_close(): an in-flight response is
@@ -86,16 +99,29 @@ class KPlexHTTPServer(ThreadingHTTPServer):
         logger: Optional[Callable[[str], None]] = None,
         job_config: Optional[JobManagerConfig] = None,
         drain_jobs: str = DRAIN_WAIT,
+        trace_capacity: int = 256,
+        access_log_format: str = "plain",
+        slow_request_threshold: Optional[float] = None,
     ) -> None:
         if drain_jobs not in DRAIN_POLICIES:
             raise ParameterError(
                 f"unknown drain_jobs policy {drain_jobs!r}; "
                 f"expected one of {DRAIN_POLICIES}"
             )
+        if access_log_format not in ("plain", "json"):
+            raise ParameterError(
+                f"unknown access_log_format {access_log_format!r}; "
+                "expected 'plain' or 'json'"
+            )
         super().__init__(address, KPlexRequestHandler)
         self.service = service
-        self.jobs = JobManager(service, job_config)
+        self.recorder = (
+            TraceRecorder(capacity=trace_capacity) if trace_capacity > 0 else None
+        )
+        self.jobs = JobManager(service, job_config, recorder=self.recorder)
         self.drain_jobs = drain_jobs
+        self.access_log_format = access_log_format
+        self.slow_request_threshold = slow_request_threshold
         self.snapshot_path = snapshot_path
         self.snapshot_interval = snapshot_interval
         self.request_deadline = request_deadline
@@ -251,6 +277,9 @@ def serve_http(
     install_signal_handlers: bool = True,
     job_config: Optional[JobManagerConfig] = None,
     drain_jobs: str = DRAIN_WAIT,
+    trace_capacity: int = 256,
+    access_log_format: str = "plain",
+    slow_request_threshold: Optional[float] = None,
 ) -> KPlexHTTPServer:
     """Serve until SIGTERM/SIGINT, then drain; the CLI's blocking core.
 
@@ -268,6 +297,9 @@ def serve_http(
         logger=logger,
         job_config=job_config,
         drain_jobs=drain_jobs,
+        trace_capacity=trace_capacity,
+        access_log_format=access_log_format,
+        slow_request_threshold=slow_request_threshold,
     )
     previous = {}
     if install_signal_handlers:

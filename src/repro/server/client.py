@@ -40,6 +40,7 @@ NDJSON stream result-by-result while the enumeration is still running.
 from __future__ import annotations
 
 import json
+import socket
 import time
 from http.client import HTTPConnection, HTTPException, HTTPResponse
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
@@ -61,6 +62,7 @@ from ..errors import (
     SnapshotError,
 )
 from ..jobs import TERMINAL_STATES
+from ..obs import new_request_id
 from ..resilience import RetryPolicy
 
 #: ``error.type`` labels mapped back onto local exception types.
@@ -78,6 +80,19 @@ _ERROR_TYPES = {
     "JobStateError": JobStateError,
     "JobResultsTruncatedError": JobResultsTruncatedError,
 }
+
+class _NoDelayHTTPConnection(HTTPConnection):
+    """:class:`HTTPConnection` with Nagle's algorithm disabled.
+
+    ``http.client`` writes headers and body as separate segments; with
+    Nagle on, the body segment of every POST stalls behind the peer's
+    delayed ACK (~40ms on Linux loopback), dwarfing the request itself.
+    """
+
+    def connect(self) -> None:
+        super().connect()
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
 
 #: Connection-level failures that mean "the reused socket went stale".
 _STALE_CONNECTION_ERRORS = (
@@ -117,6 +132,10 @@ class ServiceClient:
         self._port = split.port or 80
         self._path_prefix = split.path.rstrip("/")
         self._conn: Optional[HTTPConnection] = None
+        #: Request id of the most recent completed call — every request
+        #: carries a client-generated ``X-Request-Id`` and the server echoes
+        #: it back, so this id keys ``GET /v1/trace/<id>`` (see :meth:`trace`).
+        self.last_request_id: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # Endpoints
@@ -257,6 +276,45 @@ class ServiceClient:
         body = {"path": path} if path else None
         return self._call(  # type: ignore[return-value]
             "POST", "/v1/snapshot", body, request_timeout=request_timeout
+        )
+
+    # ------------------------------------------------------------------ #
+    # Traces
+    # ------------------------------------------------------------------ #
+    def traces(
+        self,
+        min_ms: Optional[float] = None,
+        limit: Optional[int] = None,
+        request_timeout: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """``GET /v1/trace`` — recent request/job traces, newest first."""
+        params = []
+        if min_ms is not None:
+            params.append(f"min_ms={min_ms}")
+        if limit is not None:
+            params.append(f"limit={limit}")
+        suffix = f"?{'&'.join(params)}" if params else ""
+        return self._call(  # type: ignore[return-value]
+            "GET", f"/v1/trace{suffix}", request_timeout=request_timeout
+        )
+
+    def trace(
+        self,
+        request_id: Optional[str] = None,
+        request_timeout: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """``GET /v1/trace/<id>`` — one request's full span tree.
+
+        Without an explicit ``request_id`` this fetches the trace of this
+        client's *previous* call (:attr:`last_request_id`).
+        """
+        target = request_id or self.last_request_id
+        if not target:
+            raise ParameterError(
+                "no request id: pass one or make a traced call first"
+            )
+        return self._call(  # type: ignore[return-value]
+            "GET", f"/v1/trace/{target}", request_timeout=request_timeout
         )
 
     # ------------------------------------------------------------------ #
@@ -429,14 +487,22 @@ class ServiceClient:
         route = f"/v1/jobs/{job_id}/results?stream=1&start={start}"
         if heartbeat is not None:
             route += f"&heartbeat={heartbeat}"
-        conn = HTTPConnection(
+        conn = _NoDelayHTTPConnection(
             self._host,
             self._port,
             timeout=request_timeout if request_timeout is not None else self.timeout,
         )
         try:
-            conn.request("GET", self._path_prefix + route)
+            request_id = new_request_id()
+            conn.request(
+                "GET",
+                self._path_prefix + route,
+                headers={"X-Request-Id": request_id},
+            )
             response = conn.getresponse()
+            self.last_request_id = (
+                response.getheader("X-Request-Id") or request_id
+            )
             if response.status >= 400:
                 raise self._to_exception(
                     response.status, response.reason, response.read()
@@ -472,15 +538,21 @@ class ServiceClient:
         request_timeout: Optional[float] = None,
     ) -> Union[Dict[str, object], List[object], str]:
         data = json.dumps(body).encode("utf-8") if body is not None else None
-        headers = {"Content-Type": "application/json"} if data else {}
+        # One id per logical call: a retried request keeps its id, so the
+        # server-side trace of the attempt that finally ran stays findable.
+        request_id = new_request_id()
+        headers = {"X-Request-Id": request_id}
+        if data:
+            headers["Content-Type"] = "application/json"
         timeout = request_timeout if request_timeout is not None else self.timeout
         path = self._path_prefix + route
         failures = 0
         while True:
             try:
-                status, reason, content_type, raw, retry_after = self._request(
-                    method, path, data, headers, timeout
+                status, reason, content_type, raw, retry_after, echoed = (
+                    self._request(method, path, data, headers, timeout)
                 )
+                self.last_request_id = echoed or request_id
             except OSError as exc:
                 # Connection-level failure.  Only idempotent GETs may be
                 # replayed — a POST could have reached the server before
@@ -527,9 +599,9 @@ class ServiceClient:
         data: Optional[bytes],
         headers: Dict[str, str],
         timeout: float,
-    ) -> Tuple[int, str, str, bytes, Optional[float]]:
+    ) -> Tuple[int, str, str, bytes, Optional[float], Optional[str]]:
         if not self.keep_alive:
-            conn = HTTPConnection(self._host, self._port, timeout=timeout)
+            conn = _NoDelayHTTPConnection(self._host, self._port, timeout=timeout)
             try:
                 return self._roundtrip(conn, method, path, data, headers)
             finally:
@@ -539,7 +611,7 @@ class ServiceClient:
         for attempt in (0, 1):
             try:
                 if self._conn is None:
-                    self._conn = HTTPConnection(
+                    self._conn = _NoDelayHTTPConnection(
                         self._host, self._port, timeout=timeout
                     )
                 else:
@@ -566,13 +638,17 @@ class ServiceClient:
         path: str,
         data: Optional[bytes],
         headers: Dict[str, str],
-    ) -> Tuple[int, str, str, bytes, Optional[float]]:
+    ) -> Tuple[int, str, str, bytes, Optional[float], Optional[str]]:
         conn.request(method, path, body=data, headers=headers)
         response: HTTPResponse = conn.getresponse()
         raw = response.read()  # fully drain so the connection is reusable
         content_type = (response.headers.get_content_type() or "").lower()
         retry_after = cls._parse_retry_after(response.getheader("Retry-After"))
-        return response.status, response.reason, content_type, raw, retry_after
+        echoed = response.getheader("X-Request-Id")
+        return (
+            response.status, response.reason, content_type, raw, retry_after,
+            echoed,
+        )
 
     @staticmethod
     def _decode(

@@ -22,7 +22,16 @@ Method     Path                         Meaning
 ``DELETE`` ``/v1/jobs/<id>``            cancel a job (cooperative)
 ``GET``    ``/v1/jobs/<id>/results``    buffered results; ``?stream=1`` streams
                                         NDJSON over chunked transfer encoding
+``GET``    ``/v1/trace``                recent traces (``?min_ms=`` filters,
+                                        ``?limit=`` bounds)
+``GET``    ``/v1/trace/<request_id>``   one request's full span tree
 =========  ===========================  =========================================
+
+Every request runs under its own trace: the server honours a
+client-supplied ``X-Request-Id`` header (and always echoes the id back in
+the response), records the completed span tree into an in-memory ring
+buffer served by the ``/v1/trace`` routes, and emits one structured
+``http_request`` telemetry event per request.
 
 Every error is a structured body ``{"error": {"type", "message", "status"}}``
 so clients can map failures back to the library's exception types:
@@ -43,7 +52,9 @@ client always knows whether the stream ended or was cut.
 from __future__ import annotations
 
 import json
+import logging
 import math
+import time
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler
 from typing import Dict, Optional, Tuple
@@ -66,11 +77,15 @@ from ..errors import (
     SnapshotError,
 )
 from ..jobs import READ_END, READ_ITEM
+from ..obs import Trace, activate, log_event, new_request_id
 from ..resilience import fault_injector, resilience_stats
 from .persistence import save_snapshot
 
 #: Largest accepted request body; registering a graph inline dominates.
 MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: Longest accepted client-supplied ``X-Request-Id`` (longer ids are cut).
+MAX_REQUEST_ID_CHARS = 128
 
 
 class _HTTPFail(Exception):
@@ -127,9 +142,17 @@ class KPlexRequestHandler(BaseHTTPRequestHandler):
 
     protocol_version = "HTTP/1.1"
     server_version = f"kplex-enum/{__version__}"
+    # The status/header flush and the body are separate writes; with Nagle
+    # on, the body segment stalls behind the client's delayed ACK (~40ms
+    # per response on Linux loopback).
+    disable_nagle_algorithm = True
     # Socket inactivity bound so a stalled client cannot wedge the
     # drain-time handler join forever.
     timeout = 60.0
+    # Per-request state (set by _dispatch; class defaults keep log_message
+    # safe on connections that never reach a route).
+    _request_id: Optional[str] = None
+    _response_status: int = 0
 
     # ------------------------------------------------------------------ #
     # Entry points
@@ -142,6 +165,7 @@ class KPlexRequestHandler(BaseHTTPRequestHandler):
                 "/v1/graphs": self._get_graphs,
                 "/v1/metrics": self._get_metrics,
                 "/v1/jobs": self._get_jobs,
+                "/v1/trace": self._get_traces,
             }
         )
 
@@ -184,29 +208,143 @@ class KPlexRequestHandler(BaseHTTPRequestHandler):
             )
         return lambda query: handler(query, job_id)
 
+    def _trace_route(self, path: str):
+        """Resolve ``/v1/trace/<request_id>`` to a bound sub-handler."""
+        parts = path.rstrip("/").split("/")
+        if parts[:3] != ["", "v1", "trace"] or len(parts) != 4 or not parts[3]:
+            return None
+        if self.command != "GET":
+            raise _HTTPFail(
+                405, "MethodNotAllowed", f"{self.command} not allowed on {path}"
+            )
+        request_id = parts[3]
+        return lambda query: self._get_trace(query, request_id)
+
     def _dispatch(self, routes: Dict[str, object]) -> None:
         parsed = urlparse(self.path)
+        started = time.time()
+        supplied = (self.headers.get("X-Request-Id") or "").strip()
+        self._request_id = (
+            supplied[:MAX_REQUEST_ID_CHARS] if supplied else new_request_id()
+        )
+        self._response_status = 0
+        recorder = getattr(self.server, "recorder", None)
+        if recorder is not None:
+            trace: Optional[Trace] = Trace(request_id=self._request_id)
+            root = trace.span("http", method=self.command, path=parsed.path)
+            # Registered live, not on completion: a client may fetch its own
+            # trace the instant it has the response, which can beat a
+            # post-send record on a fresh connection; this also makes
+            # still-running requests visible under /v1/trace.
+            recorder.record(trace)
+        else:
+            # Tracing disabled (trace_capacity=0): every span() downstream
+            # degrades to the shared no-op, keeping the hot path span-free.
+            trace = None
+            root = None
         handler = routes.get(parsed.path)
         try:
-            if handler is None:
-                handler = self._job_route(parsed.path)
-            if handler is None:
-                known = {"/healthz", "/readyz", "/v1/graphs", "/v1/metrics",
-                         "/v1/solve", "/v1/snapshot", "/v1/jobs"}
-                if parsed.path in known:
-                    raise _HTTPFail(
-                        405, "MethodNotAllowed", f"{self.command} not allowed on {parsed.path}"
+            with activate(root):
+                try:
+                    if handler is None:
+                        handler = self._job_route(parsed.path)
+                    if handler is None:
+                        handler = self._trace_route(parsed.path)
+                    if handler is None:
+                        known = {"/healthz", "/readyz", "/v1/graphs", "/v1/metrics",
+                                 "/v1/solve", "/v1/snapshot", "/v1/jobs", "/v1/trace"}
+                        if parsed.path in known:
+                            raise _HTTPFail(
+                                405, "MethodNotAllowed", f"{self.command} not allowed on {parsed.path}"
+                            )
+                        raise _HTTPFail(404, "NotFound", f"no route for {parsed.path}")
+                    handler(parse_qs(parsed.query))  # type: ignore[operator]
+                except _HTTPFail as fail:
+                    self._send_error_body(fail.status, fail.kind, str(fail))
+                except Exception as exc:  # noqa: BLE001 - every error becomes a body
+                    status, kind = _classify(exc)
+                    if root is not None:
+                        root.set(error=kind)
+                    self._send_error_body(
+                        status, kind, str(exc),
+                        retry_after=getattr(exc, "retry_after", None),
                     )
-                raise _HTTPFail(404, "NotFound", f"no route for {parsed.path}")
-            handler(parse_qs(parsed.query))  # type: ignore[operator]
-        except _HTTPFail as fail:
-            self._send_error_body(fail.status, fail.kind, str(fail))
-        except Exception as exc:  # noqa: BLE001 - every error becomes a body
-            status, kind = _classify(exc)
-            self._send_error_body(
-                status, kind, str(exc),
-                retry_after=getattr(exc, "retry_after", None),
+        finally:
+            self._finish_request(trace, root, parsed.path, started)
+
+    #: Exact routes whose paths are safe as a metric label as-is.
+    _EXACT_ROUTES = frozenset({
+        "/healthz", "/readyz", "/v1/graphs", "/v1/metrics",
+        "/v1/solve", "/v1/snapshot", "/v1/jobs", "/v1/trace",
+    })
+
+    @classmethod
+    def _route_label(cls, path: str) -> str:
+        """Bounded-cardinality route label: ids collapse to placeholders."""
+        if path in cls._EXACT_ROUTES:
+            return path
+        parts = path.rstrip("/").split("/")
+        if parts[:3] == ["", "v1", "jobs"] and len(parts) >= 4:
+            if len(parts) == 5 and parts[4] == "results":
+                return "/v1/jobs/<id>/results"
+            if len(parts) == 4:
+                return "/v1/jobs/<id>"
+        if parts[:3] == ["", "v1", "trace"] and len(parts) == 4:
+            return "/v1/trace/<id>"
+        return "<other>"
+
+    def _finish_request(
+        self, trace: Optional[Trace], root, path: str, started: float
+    ) -> None:
+        """Close the request trace, record it, and emit access telemetry."""
+        status = self._response_status
+        duration = time.time() - started
+        server = self.server
+        if trace is not None:
+            # Already in the recorder (registered at dispatch); only close.
+            root.set(status=status)
+            root.finish("error" if status >= 500 else "ok")
+            trace.finish()
+        route = self._route_label(path)
+        service = getattr(server, "service", None)
+        if service is not None:
+            telemetry = service.telemetry
+            telemetry.counter(
+                "http_requests_total",
+                labels={"route": route, "status": str(status)},
+                help_text="HTTP requests by route and status code.",
+            ).inc()
+            telemetry.histogram(
+                "http_request_duration_seconds",
+                labels={"route": route},
+                help_text="Wall-clock HTTP request duration by route.",
+            ).observe(duration)
+        record: Dict[str, object] = {
+            "method": self.command,
+            "path": path,
+            "status": status,
+            "duration_ms": round(duration * 1000.0, 3),
+            "request_id": self._request_id,
+            "client": self.client_address[0] if self.client_address else None,
+        }
+        log_event("http_request", **record)
+        threshold = getattr(server, "slow_request_threshold", None)
+        if threshold is not None and duration >= threshold:
+            log_event(
+                "slow_request",
+                level=logging.WARNING,
+                threshold_seconds=threshold,
+                spans=trace.tree() if trace is not None else None,
+                **record,
             )
+        if getattr(server, "access_log_format", "plain") == "json":
+            line = json.dumps(record, default=str, separators=(",", ":"))
+        else:
+            line = (
+                f'{record["client"] or "-"} "{self.command} {path}" {status} '
+                f'{record["duration_ms"]}ms {self._request_id}'
+            )
+        server.log(line)  # type: ignore[attr-defined]
 
     # ------------------------------------------------------------------ #
     # Routes
@@ -273,7 +411,10 @@ class KPlexRequestHandler(BaseHTTPRequestHandler):
         if fmt == "prometheus":
             from ..service.service import render_prometheus
 
-            self._send_text(200, render_prometheus(metrics))
+            metrics.pop("telemetry", None)
+            text = render_prometheus(metrics)
+            text += service.telemetry.render_prometheus()
+            self._send_text(200, text)
         elif fmt == "json":
             self._send_json(200, metrics)
         else:
@@ -410,6 +551,61 @@ class KPlexRequestHandler(BaseHTTPRequestHandler):
         )
 
     # ------------------------------------------------------------------ #
+    # Traces
+    # ------------------------------------------------------------------ #
+    def _trace_recorder(self):
+        recorder = getattr(self.server, "recorder", None)
+        if recorder is None:
+            raise _HTTPFail(
+                503, "ServiceClosedError", "this server records no traces"
+            )
+        return recorder
+
+    def _get_traces(self, query: Dict[str, list]) -> None:
+        recorder = self._trace_recorder()
+        min_ms = None
+        if query.get("min_ms"):
+            try:
+                min_ms = float(query["min_ms"][0])
+            except ValueError as exc:
+                raise _HTTPFail(400, "BadRequest", "'min_ms' must be a number") from exc
+        limit = 50
+        if query.get("limit"):
+            try:
+                limit = int(query["limit"][0])
+            except ValueError as exc:
+                raise _HTTPFail(400, "BadRequest", "'limit' must be an integer") from exc
+            if limit < 0:
+                raise _HTTPFail(400, "BadRequest", "'limit' must be >= 0")
+        records = []
+        for trace in recorder.list(min_ms=min_ms, limit=limit):
+            root = trace.root
+            entry: Dict[str, object] = {
+                "request_id": trace.request_id,
+                "created_at": round(trace.created_at, 6),
+                "spans": len(trace.spans),
+                "root": root.name if root is not None else None,
+            }
+            duration = trace.duration_ms
+            if duration is not None:
+                entry["duration_ms"] = round(duration, 3)
+            records.append(entry)
+        self._send_json(
+            200,
+            {"traces": records, "count": len(records), "recorded": len(recorder)},
+        )
+
+    def _get_trace(self, _query: Dict[str, list], request_id: str) -> None:
+        trace = self._trace_recorder().get(request_id)
+        if trace is None:
+            raise _HTTPFail(
+                404, "NotFound", f"no trace recorded for request id {request_id!r}"
+            )
+        payload = trace.to_dict()
+        payload["tree"] = trace.tree()
+        self._send_json(200, payload)
+
+    # ------------------------------------------------------------------ #
     # Async jobs
     # ------------------------------------------------------------------ #
     def _jobs_manager(self):
@@ -528,6 +724,11 @@ class KPlexRequestHandler(BaseHTTPRequestHandler):
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
         self.send_header("Transfer-Encoding", "chunked")
+        if self._request_id is not None:
+            # Before Cache-Control: an id ending in "0" as the *last* header
+            # would put a literal b"0\r\n\r\n" on the wire, which naive
+            # chunked-stream readers mistake for the terminating chunk.
+            self.send_header("X-Request-Id", self._request_id)
         self.send_header("Cache-Control", "no-store")
         self.end_headers()
         reader = job.results.attach(start)
@@ -680,6 +881,8 @@ class KPlexRequestHandler(BaseHTTPRequestHandler):
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(payload)))
+            if self._request_id is not None:
+                self.send_header("X-Request-Id", self._request_id)
             for key, value in (headers or {}).items():
                 self.send_header(key, value)
             self.end_headers()
@@ -687,6 +890,15 @@ class KPlexRequestHandler(BaseHTTPRequestHandler):
         except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
             pass  # client went away mid-response; nothing to salvage
 
+    def log_request(self, code: object = "-", size: object = "-") -> None:
+        """Capture the response status; the access line is emitted once per
+        request by :meth:`_finish_request` (with duration and request id),
+        not per ``send_response`` call."""
+        try:
+            self._response_status = int(getattr(code, "value", code))
+        except (TypeError, ValueError):
+            pass
+
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
-        """Route access logs through the server's logger (quiet by default)."""
+        """Route handler diagnostics through the server's logger."""
         self.server.log(format % args)  # type: ignore[attr-defined]

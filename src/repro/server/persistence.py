@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import logging
 import os
 import tempfile
 import time
@@ -36,6 +37,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from ..core.config import EnumerationConfig
 from ..errors import ReproError, SnapshotError
+from ..obs import log_event
 from ..graph import Graph
 from ..graph.prepared import prepare
 from ..resilience import fault_injector, resilience_stats
@@ -275,6 +277,12 @@ def quarantine_snapshot(path: Union[str, os.PathLike]) -> Optional[str]:
     except OSError:
         return None
     resilience_stats().increment("snapshots_quarantined")
+    log_event(
+        "snapshot_quarantined",
+        level=logging.WARNING,
+        snapshot_path=path,
+        quarantine_path=target,
+    )
     return target
 
 

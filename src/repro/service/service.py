@@ -27,7 +27,6 @@ from __future__ import annotations
 import math
 import threading
 import time
-from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Union
@@ -49,6 +48,14 @@ from ..errors import (
     ServiceOverloadError,
 )
 from ..graph import Graph
+from ..obs import (
+    DEFAULT_COUNT_BUCKETS,
+    MetricsRegistry,
+    activate,
+    current_span,
+    log_event,
+    span,
+)
 from ..resilience import CircuitBreaker, resilience_stats
 from .cache import ResultCache, SeedContextCache, result_cache_key
 from .catalog import GraphCatalog
@@ -86,8 +93,9 @@ class ServiceConfig:
         every catalog graph's prepared index; ``None``/``"auto"`` keeps the
         process default (numpy when importable).
     latency_window:
-        Number of most recent request latencies kept for the p50/p95
-        estimates.
+        Retained for compatibility.  Latency percentiles now come from a
+        fixed-bucket histogram whose memory is constant regardless of
+        traffic; the knob no longer bounds anything.
     breaker_failure_threshold:
         Consecutive backend failures that open the circuit breaker (new
         submissions are then shed with :class:`~repro.errors.CircuitOpenError`
@@ -171,6 +179,12 @@ def render_prometheus(
     and non-numeric leaves are skipped; booleans become 0/1 gauges.  The
     output is the version 0.0.4 exposition format every Prometheus scraper
     accepts, with one ``# TYPE`` line per sample.
+
+    Labelled series and histogram ``_bucket``/``_sum``/``_count`` families
+    are rendered separately by
+    :meth:`repro.obs.MetricsRegistry.render_prometheus` (which escapes
+    label values); :meth:`KPlexService.metrics_prometheus_text`
+    concatenates both.
     """
     lines: List[str] = []
 
@@ -193,11 +207,41 @@ def render_prometheus(
 
 
 class ServiceMetrics:
-    """Thread-safe request counters and a bounded latency reservoir."""
+    """Thread-safe request counters plus bounded bucketed histograms.
 
-    def __init__(self, latency_window: int = 2048) -> None:
+    Latency, queue-wait, phase-duration, result-count and branch-call
+    distributions live in fixed-bucket histograms inside ``self.registry``
+    (a :class:`~repro.obs.MetricsRegistry`), so memory stays constant no
+    matter how long the server runs; the old unbounded sample deques are
+    gone.  The registry is shared with the HTTP layer for labelled
+    per-graph/per-route series.
+    """
+
+    def __init__(
+        self,
+        latency_window: int = 2048,  # retained for compatibility; unused
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._lock = threading.Lock()
-        self._latencies: "deque[float]" = deque(maxlen=latency_window)
+        self.registry = registry or MetricsRegistry()
+        self._latency = self.registry.histogram(
+            "request_latency_seconds",
+            help_text="End-to-end latency of admitted requests",
+        )
+        self._queue_wait = self.registry.histogram(
+            "queue_wait_seconds",
+            help_text="Time admitted requests spent waiting for a worker",
+        )
+        self._result_count = self.registry.histogram(
+            "result_count",
+            buckets=DEFAULT_COUNT_BUCKETS,
+            help_text="Maximal k-plexes returned per completed search",
+        )
+        self._branch_calls = self.registry.histogram(
+            "branch_calls",
+            buckets=DEFAULT_COUNT_BUCKETS,
+            help_text="Branch-and-bound invocations per completed search",
+        )
         self.admitted = 0
         self.rejected = 0
         self.completed = 0
@@ -250,11 +294,11 @@ class ServiceMetrics:
         :meth:`record_started` (e.g. a failed pool submission), so the
         ``running`` gauge stays balanced.
         """
+        self._latency.observe(latency_seconds)
         with self._lock:
             self.in_flight -= 1
             if started:
                 self.running -= 1
-            self._latencies.append(latency_seconds)
             if error:
                 self.errors += 1
                 return
@@ -268,6 +312,26 @@ class ServiceMetrics:
             if termination == TERMINATION_TIMEOUT:
                 self.timeouts += 1
 
+    def record_queue_wait(self, seconds: float) -> None:
+        """Time one admitted request spent queued before a worker ran it."""
+        self._queue_wait.observe(max(0.0, seconds))
+
+    def observe_response(self, response: EnumerationResponse) -> None:
+        """Fold a completed response's search shape into the histograms."""
+        self._result_count.observe(response.count)
+        statistics = response.statistics
+        if statistics is not None:
+            self._branch_calls.observe(statistics.branch_calls)
+            for phase, seconds in (
+                ("preprocess", statistics.preprocess_seconds),
+                ("search", statistics.search_seconds),
+            ):
+                self.registry.histogram(
+                    "phase_duration_seconds",
+                    labels={"phase": phase},
+                    help_text="Per-phase duration of completed searches",
+                ).observe(seconds)
+
     def queue_eta_seconds(self, workers: int) -> int:
         """Estimated seconds until the current backlog drains — the derived
         ``Retry-After`` value for admission-control rejections.
@@ -278,15 +342,17 @@ class ServiceMetrics:
         """
         with self._lock:
             queued = max(0, self.in_flight - self.running)
-            latencies = sorted(self._latencies)
-        p50 = _percentile(latencies, 0.50) if latencies else 0.5
+        p50 = self._latency.quantile(0.50)
+        if p50 is None:
+            p50 = 0.5
         eta = (queued / max(1, workers) + 1.0) * p50
         return int(min(60, max(1, math.ceil(eta))))
 
     def snapshot(self) -> Dict[str, object]:
-        """JSON-ready counters plus latency percentiles over the window."""
+        """JSON-ready counters plus histogram-estimated latency percentiles."""
+        latency = self._latency
+        samples = latency.count
         with self._lock:
-            latencies = sorted(self._latencies)
             served = self.cache_hits + self.cache_misses + self.coalesced
             snapshot: Dict[str, object] = {
                 "requests_total": self.admitted + self.rejected,
@@ -306,13 +372,14 @@ class ServiceMetrics:
                 "hit_rate": (
                     (self.cache_hits + self.coalesced) / served if served else 0.0
                 ),
-                "latency_samples": len(latencies),
+                "latency_samples": samples,
             }
-            if latencies:
-                snapshot["latency_p50_seconds"] = _percentile(latencies, 0.50)
-                snapshot["latency_p95_seconds"] = _percentile(latencies, 0.95)
-                snapshot["latency_max_seconds"] = latencies[-1]
-            return snapshot
+        if samples:
+            state = latency.snapshot()
+            snapshot["latency_p50_seconds"] = latency.quantile(0.50)
+            snapshot["latency_p95_seconds"] = latency.quantile(0.95)
+            snapshot["latency_max_seconds"] = state.get("max", 0.0)
+        return snapshot
 
     def to_prometheus_text(self, prefix: str = "kplex") -> str:
         """Render the snapshot counters in Prometheus exposition format."""
@@ -397,6 +464,14 @@ class KPlexService:
         self, graph: Union[str, Graph], k: int, q: int, **kwargs: object
     ) -> EnumerationRequest:
         """Build a validated request; ``graph`` may be a catalog name."""
+        if isinstance(graph, str):
+            # Labelled per-graph traffic counter.  Graph names are
+            # user-supplied, so the Prometheus renderer escapes them.
+            self._metrics.registry.counter(
+                "graph_requests_total",
+                labels={"graph": graph},
+                help_text="Requests naming each catalog graph",
+            ).inc()
         return EnumerationRequest(
             graph=self.catalog.resolve(graph), k=k, q=q, **kwargs  # type: ignore[arg-type]
         )
@@ -440,18 +515,25 @@ class KPlexService:
                 "the service is closed and no longer accepts submissions"
             )
         request = self._coerce(request, k, q, kwargs)
+        # Admission is microseconds of lock work: it annotates the active
+        # span instead of opening its own (span creation would dominate it).
+        active_span = current_span()
         self.check_breaker()
         capacity = self.config.max_workers + self.config.max_queue_depth
         try:
             with self._admission_lock:
                 if self._outstanding >= capacity:
                     self._metrics.record_rejected()
+                    if active_span is not None:
+                        active_span.set(admission_rejected=True)
                     raise ServiceOverloadError(
                         f"service at capacity: {self._outstanding} requests outstanding "
                         f"(max_workers={self.config.max_workers}, "
                         f"max_queue_depth={self.config.max_queue_depth})"
                     )
                 self._outstanding += 1
+                if active_span is not None:
+                    active_span.set(outstanding=self._outstanding)
         except BaseException:
             # The request passed the breaker gate but never ran: release a
             # half-open probe slot it may hold, or the breaker jams open.
@@ -460,7 +542,11 @@ class KPlexService:
             raise
         self._metrics.record_admitted()
         try:
-            future = self._ensure_pool().submit(self._execute, request)
+            # Thread pools do not inherit contextvars: hand the active span
+            # (and the submit instant, for the queue-wait time) to _execute.
+            future = self._ensure_pool().submit(
+                self._execute, request, active_span, time.time()
+            )
         except BaseException:
             with self._admission_lock:
                 self._outstanding -= 1
@@ -616,11 +702,26 @@ class KPlexService:
         snapshot["breaker"] = (
             self._breaker.snapshot() if self._breaker is not None else None
         )
+        snapshot["telemetry"] = self.telemetry.snapshot()
         return snapshot
 
+    @property
+    def telemetry(self) -> MetricsRegistry:
+        """Shared histogram/counter registry (also used by the HTTP layer)."""
+        return self._metrics.registry
+
     def metrics_prometheus_text(self, prefix: str = "kplex") -> str:
-        """The full :meth:`metrics` snapshot in Prometheus text format."""
-        return render_prometheus(self.metrics(), prefix=prefix)
+        """The full :meth:`metrics` snapshot in Prometheus text format.
+
+        Flat gauges from the JSON snapshot come first, then the registry's
+        labelled counter and histogram (``_bucket``/``_sum``/``_count``)
+        families with escaped label values.
+        """
+        payload = self.metrics()
+        payload.pop("telemetry", None)
+        return render_prometheus(payload, prefix=prefix) + self.telemetry.render_prometheus(
+            prefix=prefix
+        )
 
     @property
     def result_cache(self) -> Optional[ResultCache]:
@@ -709,37 +810,69 @@ class KPlexService:
         return request.with_changes(options=options)
 
     def _run(self, request: EnumerationRequest) -> EnumerationResponse:
-        return self._engine.solve(self._inject_seed_cache(request))
+        with span("enumerate", solver=request.solver):
+            return self._engine.solve(self._inject_seed_cache(request))
 
-    def _execute(self, request: EnumerationRequest) -> EnumerationResponse:
+    def _execute(
+        self,
+        request: EnumerationRequest,
+        parent_span: Optional[object] = None,
+        submitted_at: Optional[float] = None,
+    ) -> EnumerationResponse:
+        # Re-enter the submitter's trace context: worker threads inherit
+        # nothing, so the span captured in submit() is activated explicitly.
+        with activate(parent_span):  # type: ignore[arg-type]
+            return self._execute_traced(request, submitted_at)
+
+    def _execute_traced(
+        self, request: EnumerationRequest, submitted_at: Optional[float] = None
+    ) -> EnumerationResponse:
         started = time.perf_counter()
+        now = time.time()
+        if submitted_at is not None:
+            self._metrics.record_queue_wait(now - submitted_at)
         self._metrics.record_started()
-        outcome: Optional[str] = None
-        termination: Optional[str] = None
-        try:
-            request = self._apply_defaults(request)
-            response, outcome = self._solve_with_cache(request)
-            termination = response.termination
-            return response
-        except BaseException as exc:
-            self._metrics.record_outcome(
-                time.perf_counter() - started, outcome, error=True
-            )
-            # Bad parameters say nothing about backend health; everything
-            # else (solver crashes, poison tasks, engine errors) counts
-            # toward opening the circuit.
-            if self._breaker is not None and not isinstance(exc, ParameterError):
-                self._breaker.record_failure()
-            raise
-        finally:
-            # Success path only: the error path already recorded itself (and
-            # left termination unset).
-            if termination is not None:
-                self._metrics.record_outcome(
-                    time.perf_counter() - started, outcome, termination
+        with span("execute", solver=request.solver) as execute_span:
+            if submitted_at is not None and execute_span.recorded:
+                # An attribute, not a child span: the wait is pure queueing
+                # with no inner structure, and the cached path is too hot to
+                # pay span bookkeeping for it.
+                execute_span.attributes["queue_wait_ms"] = round(
+                    (now - submitted_at) * 1000.0, 3
                 )
-                if self._breaker is not None:
-                    self._breaker.record_success()
+            outcome: Optional[str] = None
+            termination: Optional[str] = None
+            try:
+                request = self._apply_defaults(request)
+                response, outcome = self._solve_with_cache(request)
+                termination = response.termination
+                execute_span.set(outcome=outcome, termination=termination)
+                self._metrics.observe_response(response)
+                return response
+            except BaseException as exc:
+                self._metrics.record_outcome(
+                    time.perf_counter() - started, outcome, error=True
+                )
+                log_event(
+                    "request_error",
+                    solver=request.solver,
+                    error=type(exc).__name__,
+                )
+                # Bad parameters say nothing about backend health; everything
+                # else (solver crashes, poison tasks, engine errors) counts
+                # toward opening the circuit.
+                if self._breaker is not None and not isinstance(exc, ParameterError):
+                    self._breaker.record_failure()
+                raise
+            finally:
+                # Success path only: the error path already recorded itself
+                # (and left termination unset).
+                if termination is not None:
+                    self._metrics.record_outcome(
+                        time.perf_counter() - started, outcome, termination
+                    )
+                    if self._breaker is not None:
+                        self._breaker.record_success()
 
     def _solve_with_cache(
         self, request: EnumerationRequest
@@ -752,6 +885,11 @@ class KPlexService:
         # the eventual store() land under the old (unmatchable) epoch.
         key = result_cache_key(request)
         cached = cache.lookup(request, key=key)
+        # Same hot-path economy as queue_wait: the lookup is a dict probe,
+        # so it rides as an attribute on the surrounding execute span.
+        active = current_span()
+        if active is not None:
+            active.set(cache_hit=cached is not None)
         if cached is not None:
             return cached, OUTCOME_HIT
         with self._inflight_lock:
@@ -775,7 +913,8 @@ class KPlexService:
                 entry.event.set()
         # Follower: wait for the leader's answer instead of duplicating the
         # search (thundering-herd protection).
-        entry.event.wait()
+        with span("coalesce_wait"):
+            entry.event.wait()
         if entry.exception is not None:
             raise entry.exception
         response = entry.response

@@ -1,0 +1,232 @@
+"""Cluster serving — sharded scale-out, peer warming, failover durability.
+
+Three claims of the :mod:`repro.cluster` subsystem, measured over real
+subprocess replicas behind a real router:
+
+* **scale-out >= 1.7x**: a two-replica cluster sustains at least 1.7x the
+  throughput of a single-replica cluster on a cache-disabled mixed-graph
+  workload (same router in both, so the proxy hop cancels out).  CI hosts
+  are often single-core, where multi-process CPU scale-out is physically
+  impossible to demonstrate; the workload therefore emulates seed-level
+  search latency with the fault harness's ``seed_delay`` point (each seed
+  task sleeps inside the replica's real worker-pool path, releasing the
+  interpreter lock), so throughput is bounded by *serving slots* — the
+  resource replicas actually add;
+* **peer warming**: after the router broadcasts a cache-missed spec to
+  the ring's backup replica, the backup serves that spec as a cache hit
+  without ever having received it from a client;
+* **failover durability**: SIGKILLing one replica mid-workload loses
+  zero accepted requests (ring-order failover covers the gap), and the
+  supervisor restarts the dead replica —
+  ``kplex_cluster_replica_restarts_total >= 1`` in the merged metrics.
+"""
+
+import os
+import signal
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.analysis.reporting import render_table
+from repro.cluster import HashRing, start_cluster
+from repro.graph import generators
+from repro.server import ServiceClient
+
+from _bench_utils import run_once
+
+GATE_SCALEOUT = 1.7
+GATE_RESTARTS = 1
+CLIENT_THREADS = 4
+SEED_DELAY = "seed_delay:0.05"
+SOLVE_OPTIONS = {"num_workers": 1, "use_processes": False}
+
+
+def _shard_balanced_names(per_replica=3):
+    """Graph names a two-replica ring splits evenly (looked up, not hoped).
+
+    The result interleaves owners (r0, r1, r0, r1, ...) so that any window
+    of consecutive in-flight requests spreads across both replicas; a
+    grouped ordering would serialize the two-replica run on one replica at
+    a time and understate scale-out.
+    """
+    ring = HashRing(["r0", "r1"])
+    chosen = {"r0": [], "r1": []}
+    index = 0
+    while any(len(names) < per_replica for names in chosen.values()):
+        name = f"bench-g{index}"
+        owner = ring.lookup(name)
+        if len(chosen[owner]) < per_replica:
+            chosen[owner].append(name)
+        index += 1
+    return [name for pair in zip(chosen["r0"], chosen["r1"]) for name in pair]
+
+
+def _register_workload(client, names):
+    for seed, name in enumerate(names):
+        graph = generators.erdos_renyi(10, 0.4, seed=seed)
+        client.register(name, edges=sorted(graph.edges()))
+
+
+def _solve(client, name):
+    client.solve(
+        name, k=2, q=4, solver="parallel", options=SOLVE_OPTIONS,
+        include_results=False,
+    )
+
+
+def _run_workload(router_url, names, requests, on_request=None):
+    """Fan ``requests`` solves over the router; returns (elapsed, failures)."""
+    specs = [names[i % len(names)] for i in range(requests)]
+    failures = []
+
+    def one(index_name):
+        index, name = index_name
+        if on_request is not None:
+            on_request(index)
+        client = ServiceClient(router_url, timeout=120.0)
+        try:
+            _solve(client, name)
+        except Exception as exc:  # noqa: BLE001 - any loss fails the gate
+            failures.append((name, repr(exc)))
+        finally:
+            client.close()
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=CLIENT_THREADS) as pool:
+        list(pool.map(one, enumerate(specs)))
+    return time.perf_counter() - started, failures
+
+
+def _best_of_two(router_url, names, requests):
+    """Two measured passes, fastest elapsed wins (all failures count).
+
+    Single-core CI hosts schedule noisily; one pass can lose 20%+ to an
+    unlucky stall.  Throughput gates compare best-observed capacity.
+    """
+    first_elapsed, first_failures = _run_workload(router_url, names, requests)
+    second_elapsed, second_failures = _run_workload(router_url, names, requests)
+    return min(first_elapsed, second_elapsed), first_failures + second_failures
+
+
+def _boot(replicas, cache_entries, peer_warm, fault=None):
+    args = ["--workers", "2", "--cache-entries", str(cache_entries)]
+    if fault:
+        args += ["--fault", fault]
+    router = start_cluster(
+        replicas=replicas,
+        replica_args=args,
+        peer_warm=peer_warm,
+        boot_timeout=60.0,
+    )
+    client = ServiceClient(router.url, timeout=120.0)
+    client.wait_ready(timeout=30.0)
+    return router, client
+
+
+def test_bench_cluster_scaleout_warm_and_failover(benchmark, scale):
+    requests = 32 if scale == "full" else 16
+    names = _shard_balanced_names(per_replica=3)
+
+    def run():
+        # ---- Gate (a): two replicas vs one, cache disabled ------------- #
+        single, single_client = _boot(
+            1, cache_entries=0, peer_warm=False, fault=SEED_DELAY
+        )
+        try:
+            _register_workload(single_client, names)
+            _run_workload(single.url, names, len(names))  # prep-warm pass
+            single_elapsed, single_failures = _best_of_two(
+                single.url, names, requests
+            )
+        finally:
+            single.drain()
+
+        duo, duo_client = _boot(
+            2, cache_entries=0, peer_warm=False, fault=SEED_DELAY
+        )
+        try:
+            _register_workload(duo_client, names)
+            _run_workload(duo.url, names, len(names))
+            duo_elapsed, duo_failures = _best_of_two(duo.url, names, requests)
+
+            # ---- Gate (c): SIGKILL one replica mid-workload ------------ #
+            victim = duo.replica_set.get(duo.ring.lookup(names[0]))
+            kill_at = requests // 3
+            killed = []
+
+            def on_request(index):
+                if index == kill_at and not killed:
+                    killed.append(victim.pid)
+                    os.kill(victim.pid, signal.SIGKILL)
+
+            _, kill_failures = _run_workload(
+                duo.url, names, requests, on_request=on_request
+            )
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if duo.replica_set.restarts_total >= GATE_RESTARTS:
+                    break
+                time.sleep(0.1)
+            restarts = duo.replica_set.restarts_total
+            prometheus = duo_client.metrics(fmt="prometheus")
+            restarts_line = next(
+                line for line in prometheus.splitlines()
+                if line.startswith("kplex_cluster_replica_restarts_total ")
+            )
+        finally:
+            duo.drain()
+
+        # ---- Gate (b): peer-warm broadcast hits on the backup ---------- #
+        warm, warm_client = _boot(2, cache_entries=256, peer_warm=True)
+        try:
+            _register_workload(warm_client, names)
+            target = names[0]
+            warm_client.solve(target, k=2, q=4, include_results=False)
+            assert warm_client.last_cache == "miss"
+            backup_id = warm.ring.lookup_n(target, 2)[1]
+            backup = ServiceClient(warm.replica_set.get(backup_id).url)
+            warmed = False
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline:
+                backup.solve(target, k=2, q=4, include_results=False)
+                if backup.last_cache == "hit":
+                    warmed = True
+                    break
+                time.sleep(0.05)
+            backup.close()
+        finally:
+            warm.drain()
+
+        single_rps = requests / single_elapsed
+        duo_rps = requests / duo_elapsed
+        return {
+            "requests": requests,
+            "graphs": len(names),
+            "single_rps": round(single_rps, 2),
+            "duo_rps": round(duo_rps, 2),
+            "scaleout": round(duo_rps / single_rps, 2),
+            "lost_baseline": len(single_failures) + len(duo_failures),
+            "lost_during_kill": len(kill_failures),
+            "replica_restarts": restarts,
+            "restarts_metric": int(float(restarts_line.split()[-1])),
+            "backup_warm_hit": warmed,
+        }
+
+    row = run_once(benchmark, run)
+    print()
+    print(render_table([row], title="Cluster serving (2 replicas vs 1, kill mid-workload)"))
+
+    assert row["lost_baseline"] == 0, "throughput workloads must not drop requests"
+    assert row["scaleout"] >= GATE_SCALEOUT, (
+        f"2-replica cluster only {row['scaleout']}x a single replica "
+        f"(gate {GATE_SCALEOUT}x)"
+    )
+    assert row["backup_warm_hit"], (
+        "peer-warm broadcast never became a cache hit on the backup replica"
+    )
+    assert row["lost_during_kill"] == 0, (
+        f"{row['lost_during_kill']} requests lost while a replica was down"
+    )
+    assert row["replica_restarts"] >= GATE_RESTARTS
+    assert row["restarts_metric"] >= GATE_RESTARTS, (
+        "kplex_cluster_replica_restarts_total did not record the restart"
+    )

@@ -20,6 +20,10 @@ any Python; every mining command is routed through the
   (:mod:`repro.server`): ``POST /v1/solve``, the async ``/v1/jobs``
   lifecycle, graph registration, metrics (JSON or Prometheus), warm-state
   snapshots and graceful SIGTERM drain;
+* ``kplex-enum serve-cluster`` — run N supervised ``serve-http`` replicas
+  behind a consistent-hash router (:mod:`repro.cluster`): sharded solves
+  with ring-order failover, fanned-out graph registration, merged cluster
+  metrics, and cross-replica cache warming;
 * ``kplex-enum jobs submit|status|list|cancel|stream`` — drive the async
   job API of a running server from the shell (``stream`` prints the
   chunked NDJSON result stream line by line as the enumeration runs).
@@ -231,6 +235,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write a warm-state snapshot to FILE after the workload",
     )
     serve_parser.add_argument(
+        "--snapshot-max-specs", type=int, default=256, metavar="N",
+        help="hot request specs kept in the snapshot, best-N by hit count "
+             "with age decay (0 keeps all; default: 256)",
+    )
+    serve_parser.add_argument(
         "--warm-start", action="store_true",
         help="replay the --snapshot file (if present) before the workload",
     )
@@ -303,6 +312,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the snapshot periodically every SECONDS",
     )
     http_parser.add_argument(
+        "--snapshot-max-specs", type=int, default=256, metavar="N",
+        help="hot request specs kept per snapshot, best-N by hit count "
+             "with age decay (0 keeps all; default: 256)",
+    )
+    http_parser.add_argument(
+        "--replica-id", default=None, metavar="ID",
+        help="stamp every response with X-KPlex-Replica: ID (set by "
+             "serve-cluster so clients can see which replica answered)",
+    )
+    http_parser.add_argument(
         "--warm-start", action="store_true",
         help="replay the --snapshot file (if present) before accepting requests",
     )
@@ -361,6 +380,110 @@ def _build_parser() -> argparse.ArgumentParser:
         help="arm the fault-injection harness (testing only), e.g. "
              "'worker_kill:1' or 'seed_delay:0.1,snapshot_torn:1'; "
              "equivalent to setting REPRO_FAULT",
+    )
+
+    cluster_parser = subparsers.add_parser(
+        "serve-cluster",
+        help="run a sharded multi-replica cluster behind one router",
+        description=(
+            "Spawn N supervised serve-http replicas on ephemeral loopback "
+            "ports and front them with a consistent-hash router: solves are "
+            "routed to the replica owning the request's graph (failing over "
+            "in ring order), graph registration fans out to every replica, "
+            "GET /v1/metrics merges every replica's counters and histograms, "
+            "and a dead replica is restarted with its graph catalog replayed. "
+            "SIGTERM drains the router, then every replica, and exits 0."
+        ),
+    )
+    cluster_parser.add_argument(
+        "--host", default="127.0.0.1", help="router bind address (default: 127.0.0.1)"
+    )
+    cluster_parser.add_argument(
+        "--port", type=int, default=8080,
+        help="router TCP port; 0 picks an ephemeral port (default: 8080)",
+    )
+    cluster_parser.add_argument(
+        "--replicas", type=int, default=2, metavar="N",
+        help="serve-http replica subprocesses to run (default: 2)",
+    )
+    cluster_parser.add_argument(
+        "--virtual-nodes", type=int, default=64, metavar="N",
+        help="virtual nodes per replica on the hash ring (default: 64)",
+    )
+    cluster_parser.add_argument(
+        "--register",
+        action="append",
+        default=[],
+        metavar="NAME=SPEC",
+        help="register a catalog graph on every replica at boot "
+             "(SPEC: file path or dataset:<name>); repeatable",
+    )
+    cluster_parser.add_argument(
+        "--format", default="auto", choices=["auto", "edgelist", "dimacs", "metis"],
+        help="file format for --register file specs",
+    )
+    cluster_parser.add_argument(
+        "--workers", type=int, default=4,
+        help="service worker threads per replica (default: 4)",
+    )
+    cluster_parser.add_argument(
+        "--queue-depth", type=int, default=32,
+        help="per-replica admitted requests allowed to wait beyond the "
+             "workers (default: 32)",
+    )
+    cluster_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="default per-request wall-clock budget on each replica",
+    )
+    cluster_parser.add_argument(
+        "--request-deadline", type=float, default=None, metavar="SECONDS",
+        help="per-replica hard deadline per request (answers 504 beyond it)",
+    )
+    cluster_parser.add_argument(
+        "--cache-entries", type=int, default=256,
+        help="per-replica result-cache entry budget (0 disables the cache)",
+    )
+    cluster_parser.add_argument(
+        "--cache-bytes", type=int, default=64 * 1024 * 1024,
+        help="per-replica result-cache byte budget (default: 64 MiB)",
+    )
+    _add_csr_backend_argument(cluster_parser)
+    cluster_parser.add_argument(
+        "--snapshot-dir", default=None, metavar="DIR",
+        help="per-replica warm-state snapshots (DIR/<replica>.json, written "
+             "at drain, replayed on restart so a respawned replica boots warm)",
+    )
+    cluster_parser.add_argument(
+        "--snapshot-interval", type=float, default=None, metavar="SECONDS",
+        help="also write replica snapshots periodically every SECONDS",
+    )
+    cluster_parser.add_argument(
+        "--snapshot-max-specs", type=int, default=256, metavar="N",
+        help="hot request specs kept per replica snapshot, best-N by hit "
+             "count with age decay (0 keeps all; default: 256)",
+    )
+    cluster_parser.add_argument(
+        "--no-peer-warm", action="store_true",
+        help="disable cross-replica cache warming (by default a cache miss "
+             "served by one replica is pre-executed on its ring backup)",
+    )
+    cluster_parser.add_argument(
+        "--max-restarts", type=int, default=None, metavar="N",
+        help="total supervised restarts allowed per replica "
+             "(default: unbounded)",
+    )
+    cluster_parser.add_argument(
+        "--boot-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="seconds to wait for each replica's boot line and readiness "
+             "(default: 30)",
+    )
+    cluster_parser.add_argument(
+        "--proxy-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="router-to-replica socket timeout per proxied call (default: 60)",
+    )
+    cluster_parser.add_argument(
+        "--access-log", action="store_true",
+        help="print one router access-log line per request to stderr",
     )
 
     jobs_parser = subparsers.add_parser(
@@ -731,7 +854,10 @@ def _command_serve(args: argparse.Namespace) -> int:
         if args.snapshot:
             from .server import save_snapshot
 
-            snapshot = save_snapshot(service, args.snapshot)
+            snapshot = save_snapshot(
+                service, args.snapshot,
+                max_requests=args.snapshot_max_specs or None,
+            )
             print(
                 f"snapshot: {len(snapshot['hot_requests'])} hot requests over "
                 f"{len(snapshot['graphs'])} graphs -> {args.snapshot}",
@@ -807,11 +933,91 @@ def _command_serve_http(args: argparse.Namespace) -> int:
         trace_capacity=args.trace_capacity,
         access_log_format=args.access_log_format,
         slow_request_threshold=args.slow_request_threshold,
+        replica_id=args.replica_id,
+        snapshot_max_specs=args.snapshot_max_specs or None,
     )
     metrics = service.metrics()
     print(
         f"drained cleanly: {metrics['completed']} requests completed, "
         f"hit rate {metrics['hit_rate']:.2f}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _command_serve_cluster(args: argparse.Namespace) -> int:
+    import os
+
+    from .cluster import replica_argv, serve_cluster
+    from .obs import configure_event_logging
+
+    configure_event_logging(stream=sys.stderr, level=logging.WARNING)
+
+    base_args = []
+    for spec in args.register:
+        base_args += ["--register", spec]
+    if args.format != "auto":
+        base_args += ["--format", args.format]
+    base_args += [
+        "--workers", str(args.workers),
+        "--queue-depth", str(args.queue_depth),
+        "--cache-entries", str(args.cache_entries),
+        "--cache-bytes", str(args.cache_bytes),
+        "--csr-backend", args.csr_backend,
+        "--snapshot-max-specs", str(args.snapshot_max_specs),
+    ]
+    if args.timeout is not None:
+        base_args += ["--timeout", str(args.timeout)]
+    if args.request_deadline is not None:
+        base_args += ["--request-deadline", str(args.request_deadline)]
+    if args.snapshot_dir:
+        os.makedirs(args.snapshot_dir, exist_ok=True)
+
+    def argv_factory(replica_id: str):
+        extra = list(base_args)
+        if args.snapshot_dir:
+            extra += [
+                "--snapshot", os.path.join(args.snapshot_dir, f"{replica_id}.json"),
+                "--warm-start",
+            ]
+            if args.snapshot_interval is not None:
+                extra += ["--snapshot-interval", str(args.snapshot_interval)]
+        return replica_argv(replica_id, extra)
+
+    logger = (lambda line: print(line, file=sys.stderr)) if args.access_log else None
+
+    def ready(router) -> None:
+        # Same machine-readable boot contract as serve-http: the URL line
+        # on stdout is what supervisors and the CI smoke test parse.
+        print(f"serving on {router.url}", flush=True)
+        print(
+            f"replicas={args.replicas} vnodes={args.virtual_nodes} "
+            f"peer-warm={'off' if args.no_peer_warm else 'on'} "
+            f"snapshot-dir={args.snapshot_dir or '-'}",
+            file=sys.stderr,
+        )
+        for entry in router.replica_set.describe():
+            print(
+                f"replica {entry['id']}: {entry['url']} pid={entry['pid']}",
+                file=sys.stderr,
+            )
+
+    router = serve_cluster(
+        replicas=args.replicas,
+        host=args.host,
+        port=args.port,
+        argv_factory=argv_factory,
+        vnodes=args.virtual_nodes,
+        peer_warm=not args.no_peer_warm,
+        proxy_timeout=args.proxy_timeout,
+        boot_timeout=args.boot_timeout,
+        max_restarts=args.max_restarts,
+        logger=logger,
+        ready=ready,
+    )
+    print(
+        f"cluster drained cleanly: {router.replica_set.restarts_total} "
+        f"replica restarts over the run",
         file=sys.stderr,
     )
     return 0
@@ -926,6 +1132,7 @@ _COMMANDS = {
     "experiment": _command_experiment,
     "serve": _command_serve,
     "serve-http": _command_serve_http,
+    "serve-cluster": _command_serve_cluster,
     "jobs": _command_jobs,
     "trace": _command_trace,
 }

@@ -1,0 +1,63 @@
+"""Sharded multi-replica serving: ring placement, supervision, routing.
+
+One ``kplex-enum serve-cluster`` process owns N supervised ``serve-http``
+replica subprocesses and fronts them with a consistent-hash router:
+
+``repro.cluster.ring``
+    A hash ring with virtual nodes; graph names map to replicas, and
+    adding or removing one replica moves only ~1/N of the keys.
+
+``repro.cluster.replicas``
+    :class:`ReplicaSet` — spawn, readiness-gate, supervise, and restart
+    the replica subprocesses (the process-level sibling of
+    :class:`repro.resilience.PoolSupervisor`).
+
+``repro.cluster.proxy``
+    Buffered and streaming HTTP forwarding primitives.
+
+``repro.cluster.router``
+    The :class:`ClusterRouter` HTTP front door: ring-routed solves with
+    ring-order failover, fan-out graph registration and batch, merged
+    cluster metrics, cross-replica cache warming, and trace propagation.
+"""
+
+from .ring import DEFAULT_VNODES, HashRing
+from .replicas import (
+    DEFAULT_RESTART_POLICY,
+    REPLICA_DOWN,
+    REPLICA_FAILED,
+    REPLICA_STARTING,
+    REPLICA_STOPPED,
+    REPLICA_UP,
+    Replica,
+    ReplicaSet,
+)
+from .proxy import ProxyResponse, forward, open_stream
+from .router import (
+    ClusterRequestHandler,
+    ClusterRouter,
+    replica_argv,
+    serve_cluster,
+    start_cluster,
+)
+
+__all__ = [
+    "DEFAULT_VNODES",
+    "HashRing",
+    "DEFAULT_RESTART_POLICY",
+    "REPLICA_DOWN",
+    "REPLICA_FAILED",
+    "REPLICA_STARTING",
+    "REPLICA_STOPPED",
+    "REPLICA_UP",
+    "Replica",
+    "ReplicaSet",
+    "ProxyResponse",
+    "forward",
+    "open_stream",
+    "ClusterRequestHandler",
+    "ClusterRouter",
+    "replica_argv",
+    "serve_cluster",
+    "start_cluster",
+]

@@ -1,0 +1,102 @@
+"""Thin HTTP forwarding primitives used by the cluster router.
+
+The router is a proxy, not a client: it relays raw JSON bodies between the
+caller and a replica without decoding them (except where routing requires a
+peek at the graph name).  :func:`forward` performs one buffered round trip;
+:func:`open_stream` hands back a live :class:`HTTPResponse` for routes that
+must be re-chunked line-by-line (NDJSON job-result streams).
+
+Connection-level failures surface as ``OSError`` — the router's retry loop
+catches exactly that to fail over to the ring's backup replica.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+from http.client import HTTPConnection, HTTPResponse
+from typing import Dict, Optional, Tuple
+from urllib.parse import urlsplit
+
+__all__ = ["ProxyResponse", "forward", "open_stream"]
+
+#: Hop-by-hop (or recomputed) headers never copied from a replica response.
+_HOP_HEADERS = frozenset(
+    {"connection", "keep-alive", "transfer-encoding", "content-length",
+     "server", "date"}
+)
+
+
+class _NoDelayHTTPConnection(HTTPConnection):
+    """Nagle-free connection (same rationale as the service client's)."""
+
+    def connect(self) -> None:
+        super().connect()
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+
+def _split(base_url: str) -> Tuple[str, int, str]:
+    parts = urlsplit(base_url)
+    return parts.hostname or "127.0.0.1", parts.port or 80, parts.path.rstrip("/")
+
+
+@dataclass
+class ProxyResponse:
+    """One buffered upstream response, ready to relay."""
+
+    status: int
+    reason: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def content_type(self) -> str:
+        return self.headers.get("Content-Type", "application/octet-stream")
+
+
+def forward(
+    base_url: str,
+    method: str,
+    path: str,
+    body: Optional[bytes] = None,
+    headers: Optional[Dict[str, str]] = None,
+    timeout: float = 60.0,
+) -> ProxyResponse:
+    """One buffered round trip to ``base_url``; raises ``OSError`` on failure."""
+    host, port, prefix = _split(base_url)
+    conn = _NoDelayHTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request(method, prefix + path, body=body, headers=headers or {})
+        response: HTTPResponse = conn.getresponse()
+        raw = response.read()
+        kept = {
+            key: value
+            for key, value in response.getheaders()
+            if key.lower() not in _HOP_HEADERS
+        }
+        return ProxyResponse(response.status, response.reason, kept, raw)
+    finally:
+        conn.close()
+
+
+def open_stream(
+    base_url: str,
+    path: str,
+    headers: Optional[Dict[str, str]] = None,
+    timeout: float = 60.0,
+) -> Tuple[HTTPConnection, HTTPResponse]:
+    """Open a streaming GET; the caller iterates the response and closes both.
+
+    Unlike :func:`forward` the body is *not* drained — job-result streams
+    are unbounded in time, so the router relays them line-by-line while the
+    upstream enumeration is still producing.
+    """
+    host, port, prefix = _split(base_url)
+    conn = _NoDelayHTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request("GET", prefix + path, headers=headers or {})
+        response = conn.getresponse()
+    except BaseException:
+        conn.close()
+        raise
+    return conn, response

@@ -1,0 +1,119 @@
+"""Consistent-hash ring with virtual nodes for graph → replica placement.
+
+The router shards *graph names* across replicas.  Requirements that shaped
+this implementation:
+
+* **Deterministic across processes.**  Placement decisions are made by the
+  router, by benchmarks, and by operators reading ``/v1/cluster`` — all in
+  different interpreters.  Python's builtin ``hash`` is salted per process,
+  so points are derived from ``blake2b`` digests instead.
+* **Minimal movement.**  Adding or removing one replica must only remap
+  ~``1/N`` of the keys (the classic consistent-hashing property); the
+  test-suite pins this bound.
+* **Stable backup choice.**  ``lookup_n(key, 2)`` yields the owner followed
+  by the first *distinct* successor on the ring — the replica that receives
+  peer-warm broadcasts and failover retries for that key.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["DEFAULT_VNODES", "HashRing"]
+
+DEFAULT_VNODES = 64
+
+
+def _point(data: str) -> int:
+    """Position of ``data`` on the 64-bit ring (process-independent)."""
+    digest = hashlib.blake2b(data.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Maps keys to nodes via consistent hashing with virtual nodes."""
+
+    def __init__(self, nodes: Iterable[str] = (), vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._points: List[int] = []
+        self._owners: List[str] = []
+        self._nodes: Dict[str, Tuple[int, ...]] = {}
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------------ #
+    # Membership
+    # ------------------------------------------------------------------ #
+    @property
+    def nodes(self) -> List[str]:
+        """Member node names, sorted for reproducible iteration."""
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add(self, node: str) -> None:
+        if not node:
+            raise ValueError("node name must be non-empty")
+        if node in self._nodes:
+            return
+        points = []
+        for vnode in range(self.vnodes):
+            point = _point(f"{node}#{vnode}")
+            index = bisect.bisect_left(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, node)
+            points.append(point)
+        self._nodes[node] = tuple(points)
+
+    def remove(self, node: str) -> None:
+        points = self._nodes.pop(node, None)
+        if points is None:
+            return
+        for point in points:
+            index = bisect.bisect_left(self._points, point)
+            # Walk forward over hash collisions to the entry owned by `node`.
+            while self._owners[index] != node or self._points[index] != point:
+                index += 1
+            del self._points[index]
+            del self._owners[index]
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def lookup(self, key: str) -> str:
+        """The node owning ``key``."""
+        if not self._nodes:
+            raise KeyError("hash ring is empty")
+        index = bisect.bisect_right(self._points, _point(key)) % len(self._points)
+        return self._owners[index]
+
+    def lookup_n(self, key: str, count: int) -> List[str]:
+        """Up to ``count`` distinct nodes in ring order (owner first)."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if not self._nodes:
+            raise KeyError("hash ring is empty")
+        start = bisect.bisect_right(self._points, _point(key))
+        found: List[str] = []
+        for offset in range(len(self._points)):
+            owner = self._owners[(start + offset) % len(self._points)]
+            if owner not in found:
+                found.append(owner)
+                if len(found) == count or len(found) == len(self._nodes):
+                    break
+        return found
+
+    def partition(self, keys: Sequence[str]) -> Dict[str, List[str]]:
+        """Group ``keys`` by owning node (missing nodes map to empty lists)."""
+        groups: Dict[str, List[str]] = {node: [] for node in self.nodes}
+        for key in keys:
+            groups[self.lookup(key)].append(key)
+        return groups

@@ -109,6 +109,22 @@ class JobResultsTruncatedError(JobError):
     """Raised when a reader asks for job results the bounded buffer has dropped."""
 
 
+class ClusterError(ServiceError):
+    """Base class for errors raised by the multi-replica layer (:mod:`repro.cluster`)."""
+
+
+class ReplicaUnavailableError(ClusterError):
+    """Raised when no live replica can serve a routed request.
+
+    Carries a ``retry_after`` hint (seconds) so the router can answer with
+    HTTP 503 + ``Retry-After`` while supervision restarts the replica.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class RemoteServiceError(ServiceError):
     """An HTTP server answered with an error the client cannot map locally.
 

@@ -554,3 +554,6 @@ class JobManager:
                 termination=outcome.termination,
                 elapsed_seconds=outcome.elapsed_seconds,
             )
+            # Jobs stream past the result cache, so a finished job is always
+            # freshly computed work — worth warming peers with.
+            self.service.notify_warm_spec(job.request, "job")

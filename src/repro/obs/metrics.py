@@ -221,6 +221,44 @@ class Histogram:
             if other_max is not None and (self._max is None or other_max > self._max):
                 self._max = other_max
 
+    @classmethod
+    def from_snapshot(cls, payload: Mapping[str, Any]) -> "Histogram":
+        """Rebuild a histogram from a :meth:`snapshot` document.
+
+        The inverse of :meth:`snapshot`: bucket counts arrive cumulative and
+        are de-accumulated back into per-bucket increments, so the result can
+        be folded into a live histogram via :meth:`merge`.  This is how the
+        cluster router aggregates replica telemetry it only sees over HTTP.
+        """
+
+        buckets = payload.get("buckets")
+        if not isinstance(buckets, (list, tuple)) or not buckets:
+            raise ValueError("histogram snapshot needs a non-empty 'buckets' list")
+        bounds = [
+            float(bucket["le"]) for bucket in buckets if bucket.get("le") != "+Inf"
+        ]
+        if not bounds:
+            raise ValueError("histogram snapshot has no finite bucket bounds")
+        histogram = cls(bounds)
+        counts: List[int] = []
+        previous = 0
+        for bucket in buckets:
+            cumulative = int(bucket["count"])
+            if cumulative < previous:
+                raise ValueError("histogram bucket counts must be cumulative")
+            counts.append(cumulative - previous)
+            previous = cumulative
+        if len(counts) == len(bounds):
+            # Snapshot without an explicit +Inf bucket: nothing overflowed.
+            counts.append(0)
+        histogram._counts = counts
+        histogram._count = int(payload.get("count", previous))
+        histogram._sum = float(payload.get("sum", 0.0))
+        if payload.get("min") is not None:
+            histogram._min = float(payload["min"])
+            histogram._max = float(payload.get("max", payload["min"]))
+        return histogram
+
     def snapshot(self) -> Dict[str, Any]:
         """JSON-ready state: cumulative bucket counts plus summary stats."""
 
@@ -321,6 +359,29 @@ class MetricsRegistry:
         return self._get_or_create(
             "histogram", name, labels, help_text, lambda: Histogram(registered)
         )
+
+    def merge_snapshot(self, payload: Mapping[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` document into this one.
+
+        Counters and gauges are summed (a cluster-level gauge such as
+        ``in_flight`` is the sum over replicas); histograms are rebuilt via
+        :meth:`Histogram.from_snapshot` and merged bucket-by-bucket.  Unknown
+        family kinds are skipped so future replica versions stay mergeable.
+        """
+
+        for name, family in payload.items():
+            if not isinstance(family, Mapping):
+                continue
+            kind = family.get("type")
+            for entry in family.get("series", ()):
+                labels = entry.get("labels") or None
+                if kind == "counter":
+                    self.counter(name, labels).inc(float(entry.get("value", 0.0)))
+                elif kind == "gauge":
+                    self.gauge(name, labels).inc(float(entry.get("value", 0.0)))
+                elif kind == "histogram":
+                    other = Histogram.from_snapshot(entry)
+                    self.histogram(name, labels, buckets=other.bounds).merge(other)
 
     def snapshot(self) -> Dict[str, Any]:
         """JSON-ready dump of every family and child."""

@@ -238,6 +238,25 @@ def _mine_seed_faulted(
     return _mine_seed(seed_vertex)
 
 
+def _evaluate_thread_seed_fault(
+    injector, seed_vertex: int
+) -> Optional[Tuple[str, Optional[float]]]:
+    """Thread-mode seed faults: the subset that is safe without a process.
+
+    ``seed_delay`` and ``seed_exception`` behave identically in both pool
+    modes; the crash faults (``seed_crash``, ``worker_kill``) stay
+    process-pool-only — enacting them in a thread would take down the whole
+    driver instead of one worker.
+    """
+    raise_at = injector.param("seed_exception")
+    if raise_at is not None and int(raise_at) == seed_vertex and injector.fire("seed_exception"):
+        return ("exc", None)
+    delay = injector.param("seed_delay")
+    if delay is not None and injector.fire("seed_delay"):
+        return ("delay", delay)
+    return None
+
+
 def _evaluate_seed_fault(injector, seed_vertex: int) -> Optional[Tuple[str, Optional[float]]]:
     """Driver-side: which armed fault (if any) applies to this submission."""
     crash_at = injector.param("seed_crash")
@@ -426,7 +445,22 @@ def _enumerate_parallel(
                     parallel.enumeration,
                     parallel.timeout_seconds,
                 )
-                mine = partial(_mine_seed_with_state, _WorkerState(*init_args))
+                mine_state = partial(_mine_seed_with_state, _WorkerState(*init_args))
+                injector = fault_injector()
+                if injector.enabled:
+                    def mine(seed_vertex, _mine=mine_state, _injector=injector):
+                        fault = _evaluate_thread_seed_fault(_injector, seed_vertex)
+                        if fault is not None:
+                            kind, param = fault
+                            if kind == "exc":
+                                raise FaultInjectedError(
+                                    f"injected worker failure at seed {seed_vertex}"
+                                )
+                            if kind == "delay" and param:
+                                time.sleep(param)
+                        return _mine(seed_vertex)
+                else:
+                    mine = mine_state
                 pool = ThreadPoolExecutor(max_workers=parallel.num_workers)
                 try:
                     with span(

@@ -82,6 +82,15 @@ class KPlexHTTPServer(ThreadingHTTPServer):
     slow_request_threshold:
         Seconds; a request slower than this emits a ``slow_request``
         WARNING event carrying its full span tree.  ``None`` disables it.
+    replica_id:
+        Identity this process announces in the ``X-KPlex-Replica`` response
+        header on every reply.  Set by ``serve-cluster`` so routed traffic
+        is attributable over the wire; ``None`` (standalone servers) omits
+        the header.
+    snapshot_max_specs:
+        Cap on persisted hot request specs per snapshot (top-N by hit count
+        with age decay, see :func:`~repro.server.persistence.snapshot_service`).
+        ``None`` disables the cap.
     """
 
     # Handler threads are joined on server_close(): an in-flight response is
@@ -102,7 +111,13 @@ class KPlexHTTPServer(ThreadingHTTPServer):
         trace_capacity: int = 256,
         access_log_format: str = "plain",
         slow_request_threshold: Optional[float] = None,
+        replica_id: Optional[str] = None,
+        snapshot_max_specs: Optional[int] = 256,
     ) -> None:
+        if snapshot_max_specs is not None and snapshot_max_specs < 0:
+            raise ParameterError(
+                f"snapshot_max_specs must be non-negative, got {snapshot_max_specs}"
+            )
         if drain_jobs not in DRAIN_POLICIES:
             raise ParameterError(
                 f"unknown drain_jobs policy {drain_jobs!r}; "
@@ -124,6 +139,8 @@ class KPlexHTTPServer(ThreadingHTTPServer):
         self.slow_request_threshold = slow_request_threshold
         self.snapshot_path = snapshot_path
         self.snapshot_interval = snapshot_interval
+        self.snapshot_max_specs = snapshot_max_specs
+        self.replica_id = replica_id
         self.request_deadline = request_deadline
         self.draining = False
         self._logger = logger
@@ -183,6 +200,7 @@ class KPlexHTTPServer(ThreadingHTTPServer):
             return save_snapshot(
                 self.service,
                 self.snapshot_path,
+                max_requests=self.snapshot_max_specs,
                 extra={"jobs": self.jobs.summary()},
             )
 
@@ -280,6 +298,8 @@ def serve_http(
     trace_capacity: int = 256,
     access_log_format: str = "plain",
     slow_request_threshold: Optional[float] = None,
+    replica_id: Optional[str] = None,
+    snapshot_max_specs: Optional[int] = 256,
 ) -> KPlexHTTPServer:
     """Serve until SIGTERM/SIGINT, then drain; the CLI's blocking core.
 
@@ -300,6 +320,8 @@ def serve_http(
         trace_capacity=trace_capacity,
         access_log_format=access_log_format,
         slow_request_threshold=slow_request_threshold,
+        replica_id=replica_id,
+        snapshot_max_specs=snapshot_max_specs,
     )
     previous = {}
     if install_signal_handlers:

@@ -31,6 +31,16 @@ Three transport features are opt-in:
   reconnects a dropped stream, resuming from the last yielded record's
   ``index`` so the caller sees every record exactly once.
 
+For multi-replica deployments ``base_url`` may be a **list** of URLs:
+a connection failure on an idempotent ``GET`` rotates to the next
+endpoint — each endpoint is tried once for free before any ``retry``
+backoff is spent — and ``429``/``503`` answers rotate before sleeping so
+a drained or breaker-open replica sheds load to its peers.  Non-idempotent
+requests never fail over silently.  :attr:`last_replica` carries the
+``X-KPlex-Replica`` header of the most recent response (which replica
+actually answered, through any router or failover), and
+:attr:`last_cache` the solve path's ``X-KPlex-Cache`` verdict.
+
 The async job API mirrors the ``/v1/jobs`` routes: :meth:`submit_job`,
 :meth:`job`, :meth:`jobs`, :meth:`cancel_job`, :meth:`job_results` and
 the generator :meth:`iter_job_results`, which consumes the chunked
@@ -104,7 +114,7 @@ _STALE_CONNECTION_ERRORS = (
 
 
 class ServiceClient:
-    """Minimal blocking client for one server base URL.
+    """Minimal blocking client for one server base URL (or a failover list).
 
     >>> client = ServiceClient("http://127.0.0.1:8080")   # doctest: +SKIP
     >>> client.register("toy", edges=[(0, 1), (1, 2), (0, 2)])  # doctest: +SKIP
@@ -114,28 +124,68 @@ class ServiceClient:
 
     def __init__(
         self,
-        base_url: str,
+        base_url: Union[str, Sequence[str]],
         timeout: float = 60.0,
         keep_alive: bool = False,
         retry: Optional[RetryPolicy] = None,
     ) -> None:
-        self.base_url = base_url.rstrip("/")
+        urls = [base_url] if isinstance(base_url, str) else list(base_url)
+        if not urls:
+            raise ParameterError("at least one base URL is required")
+        self.endpoints: List[str] = []
+        self._targets: List[Tuple[str, int, str]] = []
+        for url in urls:
+            url = url.rstrip("/")
+            split = urlsplit(url)
+            if split.scheme not in ("http", ""):
+                raise ParameterError(
+                    f"unsupported URL scheme {split.scheme!r}; only http is spoken"
+                )
+            self.endpoints.append(url)
+            self._targets.append(
+                (split.hostname or "127.0.0.1", split.port or 80,
+                 split.path.rstrip("/"))
+            )
+        self._endpoint = 0
         self.timeout = timeout
         self.keep_alive = keep_alive
         self.retry = retry
-        split = urlsplit(self.base_url)
-        if split.scheme not in ("http", ""):
-            raise ParameterError(
-                f"unsupported URL scheme {split.scheme!r}; only http is spoken"
-            )
-        self._host = split.hostname or "127.0.0.1"
-        self._port = split.port or 80
-        self._path_prefix = split.path.rstrip("/")
         self._conn: Optional[HTTPConnection] = None
         #: Request id of the most recent completed call — every request
         #: carries a client-generated ``X-Request-Id`` and the server echoes
         #: it back, so this id keys ``GET /v1/trace/<id>`` (see :meth:`trace`).
         self.last_request_id: Optional[str] = None
+        #: ``X-KPlex-Replica`` header of the most recent response (``None``
+        #: when the server does not announce a replica identity).
+        self.last_replica: Optional[str] = None
+        #: ``X-KPlex-Cache`` header of the most recent response: ``"hit"`` /
+        #: ``"miss"`` on the solve route, ``None`` elsewhere.
+        self.last_cache: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    # Endpoint selection
+    # ------------------------------------------------------------------ #
+    @property
+    def base_url(self) -> str:
+        """The endpoint currently in use (rotates on failover)."""
+        return self.endpoints[self._endpoint]
+
+    @property
+    def _host(self) -> str:
+        return self._targets[self._endpoint][0]
+
+    @property
+    def _port(self) -> int:
+        return self._targets[self._endpoint][1]
+
+    @property
+    def _path_prefix(self) -> str:
+        return self._targets[self._endpoint][2]
+
+    def _rotate(self) -> None:
+        """Advance to the next endpoint (dropping any keep-alive socket)."""
+        self.close()
+        self._endpoint = (self._endpoint + 1) % len(self.endpoints)
 
     # ------------------------------------------------------------------ #
     # Endpoints
@@ -503,6 +553,7 @@ class ServiceClient:
             self.last_request_id = (
                 response.getheader("X-Request-Id") or request_id
             )
+            self.last_replica = response.getheader("X-KPlex-Replica")
             if response.status >= 400:
                 raise self._to_exception(
                     response.status, response.reason, response.read()
@@ -545,35 +596,60 @@ class ServiceClient:
         if data:
             headers["Content-Type"] = "application/json"
         timeout = request_timeout if request_timeout is not None else self.timeout
-        path = self._path_prefix + route
         failures = 0
+        rotations = 0
         while True:
+            # Recomputed each attempt: failover rotation may change the
+            # endpoint (and with it the path prefix) between attempts.
+            path = self._path_prefix + route
             try:
-                status, reason, content_type, raw, retry_after, echoed = (
+                status, reason, content_type, raw, retry_after, echoed, replica, cache_state = (
                     self._request(method, path, data, headers, timeout)
                 )
                 self.last_request_id = echoed or request_id
+                self.last_replica = replica
+                self.last_cache = cache_state
             except OSError as exc:
                 # Connection-level failure.  Only idempotent GETs may be
                 # replayed — a POST could have reached the server before
                 # the socket died, and repeating it would double-apply.
                 failures += 1
+                idempotent = method == "GET"
+                # Multi-endpoint failover: each peer is tried once for free
+                # (no backoff) before any retry budget is spent — a dead
+                # replica should cost one connect attempt, not a sleep.
+                if (
+                    idempotent
+                    and len(self.endpoints) > 1
+                    and rotations < len(self.endpoints) - 1
+                ):
+                    rotations += 1
+                    self._rotate()
+                    continue
                 if (
                     self.retry is None
-                    or method != "GET"
+                    or not idempotent
                     or not self.retry.should_retry(failures)
                 ):
                     raise RemoteServiceError(
                         f"cannot reach {self.base_url}: {exc}"
                     ) from exc
+                if len(self.endpoints) > 1:
+                    # Next backoff round starts from the next endpoint and
+                    # gets a fresh free-rotation budget.
+                    rotations = 0
+                    self._rotate()
                 self.retry.sleep(failures)
                 continue
             if status in (429, 503):
                 # Overload / breaker-open: retry after the server's own
                 # hint when it gave one (any method — the request never
-                # ran, so replaying is safe).
+                # ran, so replaying is safe).  With peers available, rotate
+                # first: a drained or breaker-open replica sheds its load.
                 failures += 1
                 if self.retry is not None and self.retry.should_retry(failures):
+                    if len(self.endpoints) > 1:
+                        self._rotate()
                     self.retry.sleep(failures, retry_after=retry_after)
                     continue
             if status >= 400:
@@ -599,7 +675,10 @@ class ServiceClient:
         data: Optional[bytes],
         headers: Dict[str, str],
         timeout: float,
-    ) -> Tuple[int, str, str, bytes, Optional[float], Optional[str]]:
+    ) -> Tuple[
+        int, str, str, bytes, Optional[float], Optional[str], Optional[str],
+        Optional[str],
+    ]:
         if not self.keep_alive:
             conn = _NoDelayHTTPConnection(self._host, self._port, timeout=timeout)
             try:
@@ -638,16 +717,21 @@ class ServiceClient:
         path: str,
         data: Optional[bytes],
         headers: Dict[str, str],
-    ) -> Tuple[int, str, str, bytes, Optional[float], Optional[str]]:
+    ) -> Tuple[
+        int, str, str, bytes, Optional[float], Optional[str], Optional[str],
+        Optional[str],
+    ]:
         conn.request(method, path, body=data, headers=headers)
         response: HTTPResponse = conn.getresponse()
         raw = response.read()  # fully drain so the connection is reusable
         content_type = (response.headers.get_content_type() or "").lower()
         retry_after = cls._parse_retry_after(response.getheader("Retry-After"))
         echoed = response.getheader("X-Request-Id")
+        replica = response.getheader("X-KPlex-Replica")
+        cache_state = response.getheader("X-KPlex-Cache")
         return (
             response.status, response.reason, content_type, raw, retry_after,
-            echoed,
+            echoed, replica, cache_state,
         )
 
     @staticmethod

@@ -475,6 +475,13 @@ class KPlexRequestHandler(BaseHTTPRequestHandler):
                 400, "BadRequest", f"unknown request keys {sorted(body)}"
             )
         request = service.request(name, k, q, **kwargs)
+        # Peek (no stats, no recency) before submitting: the answer header
+        # tells the cluster router whether this solve was new work worth
+        # warming the backup replica with.
+        cache = service.result_cache
+        cache_state: Optional[str] = None
+        if cache is not None:
+            cache_state = "hit" if cache.peek(request) else "miss"
         future = service.submit(request)
         deadline = self.server.request_deadline  # type: ignore[attr-defined]
         try:
@@ -488,7 +495,8 @@ class KPlexRequestHandler(BaseHTTPRequestHandler):
             ) from None
         payload: Dict[str, object] = {"graph": name}
         payload.update(response.as_dict(include_results=bool(include_results)))
-        self._send_json(200, payload)
+        headers = {"X-KPlex-Cache": cache_state} if cache_state is not None else None
+        self._send_json(200, payload, headers=headers)
 
     def _post_graphs(self, _query: Dict[str, list]) -> None:
         service = self.server.service  # type: ignore[attr-defined]
@@ -539,7 +547,11 @@ class KPlexRequestHandler(BaseHTTPRequestHandler):
         # thread, drain): an endpoint write still in flight must not publish
         # after — and thereby clobber — a fresher drain-time snapshot.
         with self.server._snapshot_lock:  # type: ignore[attr-defined]
-            snapshot = save_snapshot(service, path)
+            snapshot = save_snapshot(
+                service,
+                path,
+                max_requests=getattr(self.server, "snapshot_max_specs", None),
+            )
         self._send_json(
             200,
             {
@@ -729,6 +741,9 @@ class KPlexRequestHandler(BaseHTTPRequestHandler):
             # would put a literal b"0\r\n\r\n" on the wire, which naive
             # chunked-stream readers mistake for the terminating chunk.
             self.send_header("X-Request-Id", self._request_id)
+        replica_id = getattr(self.server, "replica_id", None)
+        if replica_id:
+            self.send_header("X-KPlex-Replica", replica_id)
         self.send_header("Cache-Control", "no-store")
         self.end_headers()
         reader = job.results.attach(start)
@@ -883,6 +898,9 @@ class KPlexRequestHandler(BaseHTTPRequestHandler):
             self.send_header("Content-Length", str(len(payload)))
             if self._request_id is not None:
                 self.send_header("X-Request-Id", self._request_id)
+            replica_id = getattr(self.server, "replica_id", None)
+            if replica_id:
+                self.send_header("X-KPlex-Replica", replica_id)
             for key, value in (headers or {}).items():
                 self.send_header(key, value)
             self.end_headers()

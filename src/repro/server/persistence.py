@@ -48,6 +48,13 @@ from ..service.catalog import DATASET_PREFIX
 SNAPSHOT_FORMAT = "kplex-service-snapshot"
 SNAPSHOT_VERSION = 1
 
+#: Half-life of a cached spec's score under the compaction policy: an entry
+#: last touched one half-life ago counts half its hits, two half-lives a
+#: quarter, and so on.  Five minutes matches the service's default snapshot
+#: cadence — specs that survived a whole snapshot interval untouched are
+#: already cooling.
+DEFAULT_SPEC_HALF_LIFE_SECONDS = 300.0
+
 #: JSON-safe scalar types accepted for vertex labels and option values.
 _JSON_SCALARS = (str, int, float, bool)
 
@@ -136,14 +143,30 @@ def _request_spec(request, name: str, epoch: int) -> Optional[Dict[str, object]]
     return spec
 
 
+def _spec_score(hits: int, age_seconds: float, half_life_seconds: float) -> float:
+    """Compaction score: hit count decayed by time since last access.
+
+    ``(1 + hits)`` so a never-hit entry still competes (it was stored, i.e.
+    computed once); the exponential halves the score every half-life, so a
+    burst of historical hits cannot pin a spec that traffic has moved past.
+    """
+    return (1.0 + hits) * (0.5 ** (max(0.0, age_seconds) / half_life_seconds))
+
+
 def snapshot_service(
-    service: KPlexService, max_requests: Optional[int] = None
+    service: KPlexService,
+    max_requests: Optional[int] = None,
+    half_life_seconds: float = DEFAULT_SPEC_HALF_LIFE_SECONDS,
 ) -> Dict[str, object]:
     """Capture the service's warm state as one versioned JSON document.
 
-    ``max_requests`` bounds the number of persisted hot request specs
-    (hottest first); seed-context specs are always included — they are a
-    few dozen bytes each.
+    ``max_requests`` bounds the number of persisted hot request specs via
+    the top-N-by-hit-count-with-age-decay policy (see :func:`_spec_score`):
+    every live cache entry is scored and only the ``max_requests`` best
+    survive, with the cut recorded under the document's
+    ``"spec_compaction"`` key so operators can see what a bounded snapshot
+    dropped.  Seed-context specs are always included — they are a few dozen
+    bytes each.
     """
     catalog = service.catalog
     graphs: List[Dict[str, object]] = []
@@ -156,21 +179,54 @@ def snapshot_service(
         graphs.append(spec)
         restorable[id(entry.graph)] = name
 
-    hot_requests: List[Dict[str, object]] = []
-    seen: set = set()
+    now = time.monotonic()
+    scored: List[Tuple[float, int, Dict[str, object]]] = []
+    seen: Dict[str, int] = {}
     if service.result_cache is not None:
-        for request in service.result_cache.export_requests(limit=max_requests):
+        for request, hits, last_access in service.result_cache.export_requests_scored():
             name = restorable.get(id(request.graph))
             if name is None:
                 continue
             spec = _request_spec(request, name, request.graph.epoch)
             if spec is None:
                 continue
+            score = _spec_score(hits, now - last_access, half_life_seconds)
             marker = json.dumps(spec, sort_keys=True, default=str)
-            if marker in seen:
+            index = seen.get(marker)
+            if index is not None:
+                # Duplicate spec (e.g. alias solver names): keep one entry
+                # with the combined best score.
+                previous = scored[index]
+                scored[index] = (max(previous[0], score), previous[1], previous[2])
                 continue
-            seen.add(marker)
-            hot_requests.append(spec)
+            seen[marker] = len(scored)
+            scored.append((score, hits, spec))
+
+    # Stable sort on descending score; the export is MRU-first, so ties keep
+    # the most recently used spec ahead.
+    ranked = sorted(enumerate(scored), key=lambda item: (-item[1][0], item[0]))
+    cut = len(ranked) if max_requests is None else min(max_requests, len(ranked))
+    hot_requests = [entry[2] for _index, entry in ranked[:cut]]
+    dropped = ranked[cut:]
+    compaction: Dict[str, object] = {
+        "policy": "top-hits-age-decay",
+        "half_life_seconds": half_life_seconds,
+        "max_specs": max_requests,
+        "candidates": len(ranked),
+        "kept": len(hot_requests),
+        "dropped": len(dropped),
+        # A bounded sample of what the cut removed, for operator forensics.
+        "dropped_specs": [
+            {
+                "graph": entry[2].get("graph"),
+                "k": entry[2].get("k"),
+                "q": entry[2].get("q"),
+                "hits": entry[1],
+                "score": round(entry[0], 6),
+            }
+            for _index, entry in dropped[:32]
+        ],
+    }
 
     seed_specs: List[Dict[str, object]] = []
     if service.seed_context_cache is not None:
@@ -195,6 +251,9 @@ def snapshot_service(
         "graphs": graphs,
         "hot_requests": hot_requests,
         "seed_specs": seed_specs,
+        # Not validated by load_snapshot (older readers ignore it), so the
+        # format version stays 1.
+        "spec_compaction": compaction,
     }
 
 

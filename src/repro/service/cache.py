@@ -27,6 +27,7 @@ as long as the entry lives.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
@@ -68,7 +69,11 @@ class ByteBudgetLRU:
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self._lock = threading.Lock()
-        self._entries: "OrderedDict[Hashable, Tuple[object, int]]" = OrderedDict()
+        # Per entry: [value, nbytes, hit_count, last_access (monotonic)].
+        # Hit count and access time feed the snapshot compaction policy
+        # (top-N by hits with age decay) without changing eviction, which
+        # stays pure LRU.
+        self._entries: "OrderedDict[Hashable, List[object]]" = OrderedDict()
         self._current_bytes = 0
         self._hits = 0
         self._misses = 0
@@ -88,7 +93,19 @@ class ByteBudgetLRU:
                 return None
             self._entries.move_to_end(key)
             self._hits += 1
+            entry[2] += 1  # type: ignore[operator]
+            entry[3] = time.monotonic()
             return entry[0]
+
+    def peek(self, key: Hashable) -> bool:
+        """``True`` when ``key`` is cached, without touching stats or recency.
+
+        The HTTP solve handler uses this to report ``X-KPlex-Cache`` before
+        submitting: it must observe the cache without perturbing hit counts
+        or LRU order, since the real lookup happens inside the service.
+        """
+        with self._lock:
+            return key in self._entries
 
     def put(self, key: Hashable, value: object, nbytes: int) -> bool:
         """Insert ``value`` under ``key``; returns ``False`` when rejected."""
@@ -99,8 +116,8 @@ class ByteBudgetLRU:
         with self._lock:
             previous = self._entries.pop(key, None)
             if previous is not None:
-                self._current_bytes -= previous[1]
-            self._entries[key] = (value, nbytes)
+                self._current_bytes -= previous[1]  # type: ignore[operator]
+            self._entries[key] = [value, nbytes, 0, time.monotonic()]
             self._current_bytes += nbytes
             self._stores += 1
             self._evict_locked()
@@ -112,8 +129,8 @@ class ByteBudgetLRU:
         ) or (self.max_bytes is not None and self._current_bytes > self.max_bytes):
             if not self._entries:
                 return
-            _key, (_value, nbytes) = self._entries.popitem(last=False)
-            self._current_bytes -= nbytes
+            _key, entry = self._entries.popitem(last=False)
+            self._current_bytes -= entry[1]  # type: ignore[operator]
             self._evictions += 1
 
     def remove_where(self, predicate: Callable[[Hashable, object], bool]) -> int:
@@ -121,12 +138,12 @@ class ByteBudgetLRU:
         with self._lock:
             doomed = [
                 key
-                for key, (value, _nbytes) in self._entries.items()
-                if predicate(key, value)
+                for key, entry in self._entries.items()
+                if predicate(key, entry[0])
             ]
             for key in doomed:
-                _value, nbytes = self._entries.pop(key)
-                self._current_bytes -= nbytes
+                entry = self._entries.pop(key)
+                self._current_bytes -= entry[1]  # type: ignore[operator]
             return len(doomed)
 
     def clear(self) -> None:
@@ -142,7 +159,20 @@ class ByteBudgetLRU:
         concurrent gets/puts, and it does not refresh recency.
         """
         with self._lock:
-            return [(key, value) for key, (value, _nbytes) in reversed(self._entries.items())]
+            return [(key, entry[0]) for key, entry in reversed(self._entries.items())]
+
+    def export_entries(self) -> List[Tuple[Hashable, object, int, float]]:
+        """``(key, value, hits, last_access)`` tuples, hottest (MRU) first.
+
+        Like :meth:`items_snapshot` but carrying the per-entry usage stats
+        that the snapshot compaction policy scores on.  ``last_access`` is a
+        ``time.monotonic()`` stamp, comparable only within this process.
+        """
+        with self._lock:
+            return [
+                (key, entry[0], entry[2], entry[3])  # type: ignore[misc]
+                for key, entry in reversed(self._entries.items())
+            ]
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -261,6 +291,12 @@ class ResultCache:
         value = self._lru.get(result_cache_key(request) if key is None else key)
         return value  # type: ignore[return-value]
 
+    def peek(
+        self, request: EnumerationRequest, key: Optional[Hashable] = None
+    ) -> bool:
+        """``True`` when an equivalent request is cached; no stats/recency."""
+        return self._lru.peek(result_cache_key(request) if key is None else key)
+
     def store(
         self,
         request: EnumerationRequest,
@@ -311,6 +347,24 @@ class ResultCache:
             if limit is not None and len(requests) >= limit:
                 break
         return requests
+
+    def export_requests_scored(
+        self,
+    ) -> List[Tuple[EnumerationRequest, int, float]]:
+        """``(request, hits, last_access)`` for every live entry, MRU first.
+
+        The compaction-aware variant of :meth:`export_requests`:
+        ``snapshot_service`` scores these by hit count with age decay to
+        decide which specs survive a bounded snapshot.  The same live-epoch
+        filter applies.
+        """
+        scored: List[Tuple[EnumerationRequest, int, float]] = []
+        for key, value, hits, last_access in self._lru.export_entries():
+            response: EnumerationResponse = value  # type: ignore[assignment]
+            if key[1] != response.request.graph.epoch:  # type: ignore[index]
+                continue
+            scored.append((response.request, hits, last_access))
+        return scored
 
     def clear(self) -> None:
         """Drop every entry."""

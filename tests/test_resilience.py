@@ -430,6 +430,29 @@ def test_seed_exception_is_retried_then_fails_structured():
     assert isinstance(excinfo.value.__cause__, FaultInjectedError)
 
 
+def test_thread_mode_seed_delay_fires_with_identical_results():
+    # Latency faults apply in both pool modes; thread mode enacts the sleep
+    # in the mining thread (GIL released), never the crash faults.
+    graph = _graph()
+    expected = {p.as_set() for p in enumerate_maximal_kplexes(graph, 2, 4)}
+    fault_injector().configure("seed_delay:0.001")
+    result = parallel_enumerate_maximal_kplexes(
+        graph, 2, 4, ParallelConfig(num_workers=2, use_processes=False)
+    )
+    assert {p.as_set() for p in result.kplexes} == expected
+    snapshot = {entry["point"]: entry for entry in fault_injector().snapshot()}
+    assert snapshot["seed_delay"]["fired"] >= 1
+
+
+def test_thread_mode_seed_exception_raises_structured():
+    graph = _graph()
+    fault_injector().configure("seed_exception:0")
+    with pytest.raises(FaultInjectedError):
+        parallel_enumerate_maximal_kplexes(
+            graph, 2, 4, ParallelConfig(num_workers=2, use_processes=False)
+        )
+
+
 def test_pool_build_fault_degrades_to_serial_with_full_results():
     graph = _graph()
     expected = {p.as_set() for p in enumerate_maximal_kplexes(graph, 2, 4)}

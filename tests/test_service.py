@@ -705,7 +705,7 @@ def test_lru_bytes_stay_exact_under_overwrite_evict_cycles():
         stats = lru.stats()
         # The tracked total must always equal the sum over live entries.
         live_total = sum(
-            nbytes for _value, nbytes in lru._entries.values()
+            entry[1] for entry in lru._entries.values()
         )
         assert stats["current_bytes"] == live_total
         assert stats["current_bytes"] <= 100

@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-quick bench-full bench-json lint examples
+.PHONY: test bench-quick bench-full bench-json lint lint-baseline examples
 
 # Tier-1: the full unit/integration suite (collection is configured in
 # pyproject.toml, so plain `python -m pytest` works too).
@@ -23,11 +23,18 @@ bench-full:
 bench-json:
 	$(PYTHON) benchmarks/bench_json.py --output BENCH_results.json
 
-# Byte-compile every source tree (no third-party linters are vendored in the
-# image) and smoke-import the public API surface.
+# Byte-compile every source tree, smoke-import the public API surface, then
+# run the project's own static analysis (repro.lint) — fails on any finding
+# not covered by lint-baseline.json or an inline suppression.
 lint:
 	$(PYTHON) -m compileall -q src tests examples benchmarks
 	$(PYTHON) -c "import repro, repro.api, repro.cli, repro.experiments, repro.analysis, repro.service, repro.server"
+	$(PYTHON) -m repro.lint src tests
+
+# Rewrite lint-baseline.json from the current findings (after intentionally
+# accepting one); review the diff before committing.
+lint-baseline:
+	$(PYTHON) -m repro.lint src tests --baseline-update
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f >/dev/null || exit 1; done; echo "all examples OK"

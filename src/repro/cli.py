@@ -46,7 +46,7 @@ from .analysis.reporting import render_series, render_table
 from .api import EnumerationRequest, KPlexEngine, solver_names, solver_table
 from .core.config import NAMED_VARIANTS
 from .datasets import all_datasets, load_dataset
-from .errors import ReproError
+from .errors import GraphError, ReproError
 from .experiments import figures as figure_drivers
 from .experiments import tables as table_drivers
 from .graph.io import load_graph
@@ -603,6 +603,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the raw JSON payload instead of the rendered tree",
     )
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the project's static-analysis checks",
+        description=(
+            "Run the repository's own AST checks (lock discipline, "
+            "epoch-keyed cache keys, resource cleanup, solver determinism, "
+            "exception hygiene) over the given paths. Exit 0 when clean "
+            "modulo the committed baseline, 1 on new findings, 2 on usage "
+            "errors."
+        ),
+    )
+    from .lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint_parser)
     return parser
 
 
@@ -678,8 +693,14 @@ def _parse_query_labels(graph, labels):
     for label in labels:
         try:
             parsed.append(graph.index_of(label))
-        except Exception:
-            parsed.append(graph.index_of(int(label)))
+        except GraphError:
+            # CLI args arrive as strings; retry numeric labels as ints.
+            try:
+                parsed.append(graph.index_of(int(label)))
+            except (ValueError, GraphError):
+                raise GraphError(
+                    f"unknown vertex label {label!r}"
+                ) from None
     return parsed
 
 
@@ -1124,6 +1145,12 @@ def _command_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args) -> int:
+    from .lint.cli import run_lint
+
+    return run_lint(args)
+
+
 _COMMANDS = {
     "enumerate": _command_enumerate,
     "query": _command_query,
@@ -1135,6 +1162,7 @@ _COMMANDS = {
     "serve-cluster": _command_serve_cluster,
     "jobs": _command_jobs,
     "trace": _command_trace,
+    "lint": _command_lint,
 }
 
 

@@ -206,7 +206,7 @@ class PreparedGraph:
                 self._cores[minimum_degree] = entry
             else:
                 self._cores.move_to_end(minimum_degree)
-            self._enforce_core_budget()
+            self._enforce_core_budget_locked()
         return entry
 
     def set_core_budget(self, max_core_levels: Optional[int]) -> None:
@@ -227,9 +227,9 @@ class PreparedGraph:
             )
         with self._lock:
             self._max_core_levels = max_core_levels
-            self._enforce_core_budget()
+            self._enforce_core_budget_locked()
 
-    def _enforce_core_budget(self) -> None:
+    def _enforce_core_budget_locked(self) -> None:
         """Evict LRU non-identity core entries until the budget holds."""
         budget = self._max_core_levels
         if budget is None:

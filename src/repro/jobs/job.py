@@ -280,7 +280,7 @@ class Job:
     # ------------------------------------------------------------------ #
     # State machine
     # ------------------------------------------------------------------ #
-    def _transition(self, new_state: str) -> None:
+    def _transition_locked(self, new_state: str) -> None:
         if new_state not in _TRANSITIONS[self.state]:
             raise JobStateError(
                 f"job {self.id}: invalid transition {self.state} -> {new_state}"
@@ -292,7 +292,7 @@ class Job:
         with self._lock:
             if self.state != JOB_PENDING or self.cancel_token.cancelled:
                 return False
-            self._transition(JOB_RUNNING)
+            self._transition_locked(JOB_RUNNING)
             self.started_at = time.time()
             return True
 
@@ -306,7 +306,7 @@ class Job:
     ) -> None:
         """RUNNING → one of the terminal states (idempotence not allowed)."""
         with self._lock:
-            self._transition(state)
+            self._transition_locked(state)
             self.termination = termination
             self.error = error
             self.elapsed_seconds = elapsed_seconds
@@ -328,7 +328,7 @@ class Job:
                 return False
             self.cancel_token.cancel()
             if self.state == JOB_PENDING:
-                self._transition(JOB_CANCELLED)
+                self._transition_locked(JOB_CANCELLED)
                 self.termination = TERMINATION_CANCELLED
                 self.finished_at = time.time()
                 self._finished_mono = self._clock()
@@ -342,7 +342,7 @@ class Job:
         with self._lock:
             if self.state not in (JOB_SUCCEEDED, JOB_FAILED, JOB_CANCELLED):
                 return False
-            self._transition(JOB_EXPIRED)
+            self._transition_locked(JOB_EXPIRED)
         self.results.clear()
         return True
 

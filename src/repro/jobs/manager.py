@@ -413,7 +413,10 @@ class JobManager:
             raise ParameterError(
                 f"unknown drain policy {policy!r}; expected one of {DRAIN_POLICIES}"
             )
-        self._closed = True
+        with self._pool_lock:
+            # Under the pool lock so _ensure_pool's closed-check and pool
+            # creation can never interleave with shutdown.
+            self._closed = True
         if policy == DRAIN_CANCEL:
             with self._lock:
                 live = [job for job in self._jobs.values() if not job.terminal]
@@ -520,8 +523,8 @@ class JobManager:
         if run is not None:
             try:
                 statistics = run.statistics().as_dict()
-            except Exception:  # pragma: no cover - defensive
-                statistics = None
+            except Exception:  # repro-lint: disable=swallowed-exception
+                statistics = None  # stats are best-effort; the job result stands
         if outcome.termination == TERMINATION_CANCELLED:
             job.finish(
                 JOB_CANCELLED,

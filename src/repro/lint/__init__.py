@@ -1,0 +1,56 @@
+"""Project-specific static analysis (``kplex-enum lint``).
+
+A stdlib-only AST analysis framework encoding this repository's own
+invariants — lock discipline, epoch-keyed caches, resource cleanup,
+solver determinism, exception hygiene — as pluggable checks.  See
+:mod:`repro.lint.registry` for how to add one and
+:mod:`repro.lint.baseline` for the grandfathering workflow.
+"""
+
+from .analyzer import LintResult, analyze, run_checks
+from .baseline import BASELINE_NAME, Baseline, load_baseline, write_baseline
+from .finding import Finding
+from .model import (
+    Project,
+    SourceModule,
+    build_project,
+    build_project_from_sources,
+    collect_files,
+    find_repo_root,
+)
+from .registry import (
+    Check,
+    check_names,
+    check_table,
+    get_check,
+    register_check,
+    unregister_check,
+)
+from .reporters import REPORT_VERSION, render_json, render_text, summary_line
+
+__all__ = [
+    "BASELINE_NAME",
+    "Baseline",
+    "Check",
+    "Finding",
+    "LintResult",
+    "Project",
+    "REPORT_VERSION",
+    "SourceModule",
+    "analyze",
+    "build_project",
+    "build_project_from_sources",
+    "check_names",
+    "check_table",
+    "collect_files",
+    "find_repo_root",
+    "get_check",
+    "load_baseline",
+    "register_check",
+    "render_json",
+    "render_text",
+    "run_checks",
+    "summary_line",
+    "unregister_check",
+    "write_baseline",
+]

@@ -1,0 +1,95 @@
+"""Run registered checks over a project and fold in suppressions/baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from . import checks as _builtin_checks  # noqa: F401  (registers built-ins)
+from .baseline import Baseline
+from .finding import Finding
+from .model import Project, build_project
+from .registry import check_names, get_check
+
+__all__ = ["LintResult", "analyze", "run_checks"]
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    checks_run: List[str] = field(default_factory=list)
+    files_analyzed: int = 0
+    syntax_errors: List[str] = field(default_factory=list)
+
+    @property
+    def new_findings(self) -> List[Finding]:
+        return [f for f in self.findings if f.active]
+
+    @property
+    def suppressed_findings(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def baselined_findings(self) -> List[Finding]:
+        return [f for f in self.findings if f.baselined]
+
+    def counts_by_check(self, include_quiet: bool = False) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            if finding.active or include_quiet:
+                counts[finding.check] = counts.get(finding.check, 0) + 1
+        return counts
+
+
+def _select_checks(
+    select: Optional[Sequence[str]], disable: Optional[Sequence[str]]
+) -> List[str]:
+    names = [get_check(name).name for name in select] if select else check_names()
+    if disable:
+        dropped = {get_check(name).name for name in disable}
+        names = [name for name in names if name not in dropped]
+    return names
+
+
+def run_checks(
+    project: Project,
+    select: Optional[Sequence[str]] = None,
+    disable: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintResult:
+    """Run the (selected) registered checks over an already-built project."""
+    result = LintResult(
+        checks_run=_select_checks(select, disable),
+        files_analyzed=len(project.modules),
+    )
+    for module in project.modules:
+        if module.syntax_error is not None:
+            exc = module.syntax_error
+            result.syntax_errors.append(f"{module.relpath}:{exc.lineno}: {exc.msg}")
+    modules_by_path = {module.relpath: module for module in project.modules}
+    for name in result.checks_run:
+        check = get_check(name)()
+        for finding in check.run(project):
+            module = modules_by_path.get(finding.file)
+            if module is not None and module.is_suppressed(finding.line, finding.check):
+                finding.suppressed = True
+            result.findings.append(finding)
+    if baseline is not None:
+        baseline.apply(result.findings)
+    result.findings.sort(key=Finding.sort_key)
+    return result
+
+
+def analyze(
+    paths: Sequence[str],
+    root: Optional[Path] = None,
+    select: Optional[Sequence[str]] = None,
+    disable: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintResult:
+    """Build the project from ``paths`` and run the checks over it."""
+    project = build_project(paths, root=root)
+    return run_checks(project, select=select, disable=disable, baseline=baseline)

@@ -1,0 +1,103 @@
+"""Baseline file: grandfathered findings that do not fail the run.
+
+The baseline maps line-independent fingerprints (see
+:attr:`repro.lint.finding.Finding.fingerprint`) to the *count* of
+findings allowed under that fingerprint, plus a human-readable context
+block so reviewers can see what each hash stands for.  Counts matter:
+two distinct unlocked writes to the same attribute share a fingerprint,
+and a third one appearing later must still fail the run.
+
+Workflow:
+
+* ``kplex-enum lint --baseline-update`` rewrites the file from the
+  current findings (run it after intentionally accepting a finding);
+* a finding whose fingerprint has remaining budget is marked
+  ``baselined`` and does not affect the exit code;
+* baseline entries that no longer match anything are reported by
+  ``--baseline-update`` runs simply by vanishing from the diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .finding import Finding
+
+__all__ = ["BASELINE_NAME", "Baseline", "load_baseline", "write_baseline"]
+
+BASELINE_NAME = "lint-baseline.json"
+_FORMAT_VERSION = 1
+
+
+class Baseline:
+    """Fingerprint budgets loaded from (or destined for) the baseline file."""
+
+    def __init__(self, counts: Optional[Dict[str, int]] = None) -> None:
+        self.counts: Dict[str, int] = dict(counts or {})
+
+    def apply(self, findings: List[Finding]) -> None:
+        """Mark findings covered by the baseline, consuming budgets in order."""
+        remaining = dict(self.counts)
+        for finding in sorted(findings, key=Finding.sort_key):
+            if finding.suppressed:
+                continue
+            budget = remaining.get(finding.fingerprint, 0)
+            if budget > 0:
+                finding.baselined = True
+                remaining[finding.fingerprint] = budget - 1
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        counts: Dict[str, int] = {}
+        for finding in findings:
+            if finding.suppressed:
+                continue
+            counts[finding.fingerprint] = counts.get(finding.fingerprint, 0) + 1
+        return cls(counts)
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return Baseline()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    counts: Dict[str, int] = {}
+    for entry in data.get("findings", []):
+        counts[entry["fingerprint"]] = int(entry.get("count", 1))
+    return Baseline(counts)
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> int:
+    """Rewrite ``path`` from the given findings; returns the entry count.
+
+    Suppressed findings are excluded (the inline comment already owns
+    them).  Entries keep one exemplar's context so the file reviews well.
+    """
+    by_fingerprint: Dict[str, Dict[str, object]] = {}
+    for finding in sorted(findings, key=Finding.sort_key):
+        if finding.suppressed:
+            continue
+        entry = by_fingerprint.get(finding.fingerprint)
+        if entry is None:
+            by_fingerprint[finding.fingerprint] = {
+                "fingerprint": finding.fingerprint,
+                "count": 1,
+                "check": finding.check,
+                "file": finding.file,
+                "symbol": finding.symbol,
+                "subject": finding.subject,
+                "message": finding.message,
+            }
+        else:
+            entry["count"] = int(entry["count"]) + 1
+    payload = {
+        "version": _FORMAT_VERSION,
+        "findings": sorted(
+            by_fingerprint.values(),
+            key=lambda e: (e["file"], e["check"], e["subject"], e["fingerprint"]),
+        ),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(by_fingerprint)

@@ -1,0 +1,149 @@
+"""Determinism check for the solver surface.
+
+Enumeration must be reproducible: the service's caches, the recovery
+layer's "replay lost seeds bit-identically" contract and every
+equivalence test in the suite assume that the same request yields the
+same result set.  Randomness or wall-clock *decisions* inside the
+enumerator/solver modules silently break all three.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..finding import Finding
+from ..model import Project, SourceModule
+from ..registry import Check, register_check
+
+__all__ = ["NondeterminismInSolver"]
+
+#: Directories (under ``repro``) forming the deterministic solver surface.
+_SOLVER_DIRS = ("/core/", "/baselines/", "/parallel/")
+
+#: Modules inside the surface that legitimately capture wall-clock stats.
+_SANCTIONED_MODULES = ("stats.py",)
+
+_NONDET_SUFFIXES = (
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "uuid.uuid4",
+    "os.urandom",
+)
+
+#: Call-name fragments that mark a wall-clock read as *stats capture*
+#: (span records, statistics observation) rather than a solver decision.
+_SANCTIONED_SINKS = ("span", "record", "observe", "stat", "trace", "metric")
+
+#: Assignment-target fragments with the same meaning.
+_SANCTIONED_TARGETS = ("wall", "stats", "started_at", "timestamp")
+
+
+@register_check("nondeterminism-in-solver")
+class NondeterminismInSolver(Check):
+    """Randomness or wall-clock read inside enumerator/solver modules.
+
+    ``random.*``, ``time.time``/``datetime.now``, ``uuid4`` and
+    ``os.urandom`` are flagged inside ``repro/core``, ``repro/baselines``
+    and ``repro/parallel`` — except in sanctioned stats capture: the
+    ``stats`` module itself, reads assigned to ``*wall*``/``*stats*``
+    variables, and reads passed directly into span/record/observe calls.
+    ``time.monotonic``/``perf_counter`` are allowed everywhere (timeout
+    and duration measurement does not change *which* results come back).
+    """
+
+    description = (
+        "random/wall-clock read in a solver module outside sanctioned "
+        "stats capture"
+    )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if module.tree is None or not self._in_surface(module):
+                continue
+            yield from self._check_module(module)
+
+    @staticmethod
+    def _in_surface(module: SourceModule) -> bool:
+        path = "/" + module.relpath
+        if not any(directory in path for directory in _SOLVER_DIRS):
+            return False
+        return not path.endswith(tuple("/" + name for name in _SANCTIONED_MODULES))
+
+    def _check_module(self, module: SourceModule) -> Iterator[Finding]:
+        for node in module.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = module.call_name(node)
+            if dotted is None:
+                continue
+            subject = self._nondeterministic(dotted)
+            if subject is None:
+                continue
+            if self._sanctioned(module, node):
+                continue
+            yield Finding(
+                file=module.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+                check=self.name,
+                message=(
+                    f"call to {subject}() in a solver module: enumeration must "
+                    f"be deterministic (caches, recovery replay and equivalence "
+                    f"tests all assume it); seed explicitly or move the read to "
+                    f"stats capture"
+                ),
+                symbol=module.enclosing_function(node),
+                subject=subject,
+            )
+
+    @staticmethod
+    def _nondeterministic(dotted: str) -> Optional[str]:
+        if dotted == "random" or dotted.startswith("random."):
+            return dotted
+        for suffix in _NONDET_SUFFIXES:
+            if dotted == suffix or dotted.endswith("." + suffix):
+                return suffix
+        return None
+
+    @staticmethod
+    def _sanctioned(module: SourceModule, node: ast.Call) -> bool:
+        parent = module.parents.get(node)
+        # Direct argument of a span/record/observe/statistics call.
+        if isinstance(parent, ast.Call):
+            func = parent.func
+            name = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name) else ""
+            )
+            if any(tag in name.lower() for tag in _SANCTIONED_SINKS):
+                return True
+        if isinstance(parent, ast.keyword):
+            grand = module.parents.get(parent)
+            if isinstance(grand, ast.Call):
+                func = grand.func
+                name = (
+                    func.attr
+                    if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name) else ""
+                )
+                if any(tag in name.lower() for tag in _SANCTIONED_SINKS):
+                    return True
+        # Assignment to a stats-ish target: ``started_wall = time.time()``.
+        if isinstance(parent, ast.Assign):
+            for target in parent.targets:
+                if isinstance(target, ast.Name) and any(
+                    tag in target.id.lower() for tag in _SANCTIONED_TARGETS
+                ):
+                    return True
+                if isinstance(target, ast.Attribute) and any(
+                    tag in target.attr.lower() for tag in _SANCTIONED_TARGETS
+                ):
+                    return True
+        return False

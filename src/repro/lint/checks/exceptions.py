@@ -1,0 +1,118 @@
+"""Exception-hygiene check: broad handlers that swallow silently."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..finding import Finding
+from ..model import Project, SourceModule
+from ..registry import Check, register_check
+
+__all__ = ["SwallowedException"]
+
+#: A handler body that calls anything matching these fragments is judged
+#: to have *reported* the error, which is enough to not be a swallow.
+_REPORTING_FRAGMENTS = (
+    "log", "warn", "error", "print", "event", "fail", "record", "report",
+)
+
+
+@register_check("swallowed-exception")
+class SwallowedException(Check):
+    """``except Exception:`` (or bare ``except:``) that hides the error.
+
+    Flagged when a broad handler neither re-raises, nor binds the
+    exception (``as exc``), nor reports it (logging/print/event call) —
+    the error vanishes and the fallback path runs with no trace of *why*.
+    A body that is only ``pass``/``continue`` is flagged even with
+    ``as exc``.  Narrow the exception type, or report before falling
+    back.
+    """
+
+    description = "broad except handler that neither re-raises, binds nor logs"
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            for node in module.walk():
+                if isinstance(node, ast.ExceptHandler):
+                    yield from self._check_handler(module, node)
+
+    def _check_handler(
+        self, module: SourceModule, handler: ast.ExceptHandler
+    ) -> Iterator[Finding]:
+        broad = self._broad_type(module, handler)
+        if broad is None:
+            return
+        only_noop = all(
+            isinstance(stmt, (ast.Pass, ast.Continue)) for stmt in handler.body
+        )
+        if only_noop:
+            yield self._finding(
+                module,
+                handler,
+                broad,
+                f"'except {broad}' whose body is only pass/continue silently "
+                f"drops the error; narrow the exception type or report it",
+            )
+            return
+        if handler.name is not None:
+            return  # bound via ``as exc``: the handler can inspect/report it
+        if self._reraises(handler) or self._reports(handler):
+            return
+        yield self._finding(
+            module,
+            handler,
+            broad,
+            f"'except {broad}' swallows the error without re-raising, binding "
+            f"or reporting it: the fallback runs with no trace of what failed; "
+            f"narrow the type or log before falling back",
+        )
+
+    @staticmethod
+    def _broad_type(module: SourceModule, handler: ast.ExceptHandler):
+        if handler.type is None:
+            return "<bare>"
+        names = []
+        types = (
+            handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+        )
+        for expr in types:
+            dotted = module.resolve_expr(expr) or ""
+            names.append(dotted.rsplit(".", 1)[-1])
+        for name in names:
+            if name in ("Exception", "BaseException"):
+                return name
+        return None
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+    @staticmethod
+    def _reports(handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name) else ""
+            )
+            if any(fragment in name.lower() for fragment in _REPORTING_FRAGMENTS):
+                return True
+        return False
+
+    def _finding(
+        self, module: SourceModule, handler: ast.ExceptHandler, broad: str, message: str
+    ) -> Finding:
+        return Finding(
+            file=module.relpath,
+            line=handler.lineno,
+            col=handler.col_offset,
+            check=self.name,
+            message=message,
+            symbol=module.enclosing_function(handler),
+            subject=f"except-{broad}",
+        )

@@ -1,0 +1,358 @@
+"""Concurrency checks: shared-write races, lock-order cycles, blocking calls.
+
+All three ride the held-lock regions computed by
+:mod:`repro.lint.model`: every AST node knows which owned locks are held
+at that point (``with self._lock:`` nesting, plus the repository's
+``*_locked``-suffix convention for helpers that require the caller to hold
+the lock).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import defaultdict
+from typing import Dict, Iterator, List, Set, Tuple
+
+from ..finding import Finding
+from ..model import ASSUMED_LOCK, ClassModel, Project, SourceModule
+from ..registry import Check, register_check
+
+__all__ = ["UnlockedSharedWrite", "LockOrder", "BlockingUnderLock"]
+
+_CONSTRUCTORS = frozenset(
+    {"__init__", "__new__", "__post_init__", "__init_subclass__", "__set_name__",
+     # An object being unpickled is not yet shared with any other thread.
+     "__setstate__"}
+)
+
+
+@register_check("unlocked-shared-write")
+class UnlockedSharedWrite(Check):
+    """Attribute written without the lock that guards it elsewhere.
+
+    In a class that owns a lock, an instance attribute that is read or
+    written inside ``with self._lock:`` somewhere is part of the locked
+    shared state; writing it from another method *without* the lock is a
+    data race (or at best an undocumented happens-before assumption).
+    Constructor writes (``__init__`` and friends) and ``*_locked`` helpers
+    are exempt.
+    """
+
+    description = (
+        "attribute of a lock-owning class written outside the lock but "
+        "accessed under it elsewhere"
+    )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            for cls in module.classes:
+                if not cls.owns_locks():
+                    continue
+                yield from self._check_class(module, cls)
+
+    def _check_class(self, module: SourceModule, cls: ClassModel) -> Iterator[Finding]:
+        locked_lines: Dict[str, List[int]] = defaultdict(list)
+        unlocked_writes: Dict[str, List] = defaultdict(list)
+        for site in cls.access_sites:
+            if site.locked:
+                locked_lines[site.attr].append(site.node.lineno)
+            elif site.is_write and site.func_name not in _CONSTRUCTORS:
+                unlocked_writes[site.attr].append(site)
+        for attr in sorted(set(locked_lines) & set(unlocked_writes)):
+            guarded_at = sorted(set(locked_lines[attr]))[:3]
+            for site in unlocked_writes[attr]:
+                yield Finding(
+                    file=module.relpath,
+                    line=site.node.lineno,
+                    col=site.node.col_offset,
+                    check=self.name,
+                    message=(
+                        f"attribute '{attr}' of lock-owning class '{cls.name}' is "
+                        f"written here without a lock but accessed under a lock "
+                        f"elsewhere (e.g. line{'s' if len(guarded_at) > 1 else ''} "
+                        f"{', '.join(map(str, guarded_at))}); guard the write or "
+                        f"document the happens-before"
+                    ),
+                    symbol=f"{cls.name}.{site.func_name}" if site.func_name else cls.name,
+                    subject=attr,
+                )
+
+
+@register_check("lock-order")
+class LockOrder(Check):
+    """Cyclic lock-acquisition order (deadlock candidates).
+
+    Builds the project-wide acquisition graph: an edge ``A -> B`` means
+    some code acquires lock ``B`` while holding ``A`` — either by textual
+    nesting of ``with`` blocks or by calling (``self.method()``) a method
+    of the same class that takes another lock.  Any cycle is a potential
+    deadlock once two threads interleave.  A self-edge on a non-reentrant
+    ``Lock`` (``with self._lock:`` nested inside itself) deadlocks a
+    single thread and is flagged too; re-entering an ``RLock`` is fine.
+    """
+
+    description = "cyclic (or self-nested non-reentrant) lock acquisition order"
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        edges: Dict[str, Set[str]] = defaultdict(set)
+        sites: Dict[Tuple[str, str], Tuple[SourceModule, ast.AST, str]] = {}
+        kinds: Dict[str, str] = {}
+
+        def qualify(module: SourceModule, token: str) -> str:
+            # class::C::attr -> module.C.attr ; mod::m::NAME -> m.NAME
+            parts = token.split("::")
+            if parts[0] == "class":
+                return f"{module.modname}.{parts[1]}.{parts[2]}"
+            return f"{parts[1]}.{parts[2]}"
+
+        for module in project.modules:
+            # Direct nesting edges.
+            for acq in module.acquisitions:
+                target = qualify(module, acq.token)
+                kinds[target] = acq.kind
+                for held in acq.held:
+                    if held == ASSUMED_LOCK:
+                        continue
+                    source = qualify(module, held)
+                    edges[source].add(target)
+                    sites.setdefault((source, target), (module, acq.node, acq.function))
+            # Same-class call-through edges: holding A, calling self.m()
+            # where m acquires B.
+            for cls in module.classes:
+                if not cls.owns_locks():
+                    continue
+                acquired_by_method: Dict[str, Set[str]] = defaultdict(set)
+                for acq in module.acquisitions:
+                    func = acq.function
+                    if func.startswith(f"{cls.name}.") and acq.token.startswith("class::"):
+                        method = func[len(cls.name) + 1 :].split(".")[0]
+                        acquired_by_method[method].add(qualify(module, acq.token))
+                for node in ast.walk(cls.node):
+                    if not (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and isinstance(node.func.value, ast.Name)
+                        and node.func.value.id == "self"
+                    ):
+                        continue
+                    held = module.held_at(node)
+                    if not held or held == frozenset({ASSUMED_LOCK}):
+                        continue
+                    callee = node.func.attr
+                    for target in acquired_by_method.get(callee, ()):
+                        for held_token in held:
+                            if held_token == ASSUMED_LOCK:
+                                continue
+                            source = qualify(module, held_token)
+                            if source == target:
+                                continue  # self-edge handled by nesting pass
+                            edges[source].add(target)
+                            sites.setdefault(
+                                (source, target),
+                                (module, node, module.enclosing_function(node)),
+                            )
+
+        yield from self._report_cycles(edges, sites, kinds)
+
+    def _report_cycles(self, edges, sites, kinds) -> Iterator[Finding]:
+        # Self-edges: deadlock for plain Lock, fine for RLock.
+        emitted: Set[str] = set()
+        for source in sorted(edges):
+            if source in edges[source] and kinds.get(source) not in ("RLock", "Semaphore"):
+                module, node, function = sites[(source, source)]
+                yield Finding(
+                    file=module.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    check=self.name,
+                    message=(
+                        f"non-reentrant lock '{source}' is acquired while already "
+                        f"held (single-thread deadlock); use an RLock or restructure"
+                    ),
+                    symbol=function,
+                    subject=source,
+                )
+                emitted.add(source)
+        # Multi-lock cycles via iterative strongly-connected components.
+        for component in _tarjan({k: v for k, v in edges.items()}):
+            if len(component) < 2:
+                continue
+            cycle = "->".join(sorted(component))
+            if cycle in emitted:
+                continue
+            emitted.add(cycle)
+            ordered = sorted(component)
+            pairs = [
+                (a, b)
+                for a in ordered
+                for b in edges.get(a, ())
+                if b in component and a != b
+            ]
+            module, node, function = sites[pairs[0]]
+            yield Finding(
+                file=module.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+                check=self.name,
+                message=(
+                    f"lock-order cycle between {', '.join(ordered)}: two threads "
+                    f"taking these locks in opposite orders deadlock; impose one "
+                    f"global acquisition order"
+                ),
+                symbol=function,
+                subject=cycle,
+            )
+
+
+def _tarjan(edges: Dict[str, Set[str]]) -> List[Set[str]]:
+    """Iterative Tarjan SCC (recursion-free: lint runs on deep graphs)."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    components: List[Set[str]] = []
+    counter = [0]
+    nodes = sorted(set(edges) | {t for targets in edges.values() for t in targets})
+
+    for root in nodes:
+        if root in index:
+            continue
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                index[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            successors = sorted(edges.get(node, ()))
+            for offset in range(child_index, len(successors)):
+                succ = successors[offset]
+                if succ not in index:
+                    work[-1] = (node, offset + 1)
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: Set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+#: Dotted-name suffixes that block the calling thread.  Includes the
+#: project's own HTTP proxy primitives: a router holding a lock across a
+#: replica round-trip stalls every other request on that lock.
+_BLOCKING_SUFFIXES: Tuple[str, ...] = (
+    "time.sleep",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen.wait",
+    "urllib.request.urlopen",
+    "socket.create_connection",
+    "socket.getaddrinfo",
+    "requests.get",
+    "requests.post",
+    "requests.request",
+    "proxy.forward",
+    "proxy.open_stream",
+    "cluster.forward",
+)
+
+
+@register_check("blocking-under-lock")
+class BlockingUnderLock(Check):
+    """Blocking call made while holding a lock.
+
+    ``time.sleep``, subprocess execution, socket/HTTP round-trips and
+    synchronous waits on pool futures (``submit(...).result()``,
+    ``thread.join()``) executed inside a ``with self._lock:`` region stall
+    every thread contending for that lock for the full blocking duration —
+    the canonical way a "fast path" develops multi-second tail latency.
+    """
+
+    description = "sleep/subprocess/HTTP/future-wait call while holding a lock"
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            yield from self._check_module(module)
+
+    def _check_module(self, module: SourceModule) -> Iterator[Finding]:
+        # Variables bound from ``<pool>.submit(...)`` / ``threading.Thread(...)``
+        # whose .result()/.join() under a lock is a synchronous wait.
+        waitable: Set[str] = set()
+        for node in module.walk():
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                func = node.value.func
+                attr = func.attr if isinstance(func, ast.Attribute) else None
+                dotted = module.call_name(node.value) or ""
+                if attr == "submit" or dotted.endswith("threading.Thread"):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            waitable.add(target.id)
+        for node in module.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            held = module.held_at(node)
+            if not held:
+                continue
+            blocking = self._blocking_reason(module, node, waitable)
+            if blocking is None:
+                continue
+            subject, reason = blocking
+            locks = ", ".join(
+                sorted(t.split("::")[-1] for t in held if t != ASSUMED_LOCK)
+            ) or "an assumed caller-held lock"
+            yield Finding(
+                file=module.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+                check=self.name,
+                message=(
+                    f"{reason} while holding {locks}: every thread contending "
+                    f"for the lock stalls for the call's full duration; move "
+                    f"the call outside the locked region"
+                ),
+                symbol=module.enclosing_function(node),
+                subject=subject,
+            )
+
+    def _blocking_reason(self, module: SourceModule, node: ast.Call, waitable: Set[str]):
+        dotted = module.call_name(node)
+        if dotted is not None:
+            for suffix in _BLOCKING_SUFFIXES:
+                if dotted == suffix or dotted.endswith("." + suffix):
+                    return suffix, f"blocking call {suffix}()"
+            if dotted.endswith("subprocess.Popen"):
+                return "subprocess.Popen", "subprocess spawn"
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr == "result":
+                inner = func.value
+                if isinstance(inner, ast.Call):
+                    inner_func = inner.func
+                    if isinstance(inner_func, ast.Attribute) and inner_func.attr == "submit":
+                        return "submit().result()", "synchronous pool wait submit(...).result()"
+                if isinstance(inner, ast.Name) and inner.id in waitable:
+                    return f"{inner.id}.result()", "synchronous future wait .result()"
+            if func.attr == "join":
+                inner = func.value
+                if isinstance(inner, ast.Name) and inner.id in waitable:
+                    return f"{inner.id}.join()", "thread join"
+        return None

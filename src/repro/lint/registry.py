@@ -1,0 +1,113 @@
+"""Pluggable check registry — the lint-side mirror of the solver registry.
+
+Adding a checker is one decorated class::
+
+    from repro.lint import Check, register_check
+
+    @register_check("my-check")
+    class MyCheck(Check):
+        description = "flag the thing"
+
+        def run(self, project):
+            for module in project.modules:
+                ...
+                yield Finding(...)
+
+Registered checks run project-wide (a check that needs cross-module facts,
+like the lock-order cycle detector, sees every module at once); per-module
+checks simply iterate ``project.modules`` themselves.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Iterator, List, Tuple, Type
+
+from .finding import Finding
+from .model import Project
+
+__all__ = [
+    "Check",
+    "register_check",
+    "unregister_check",
+    "get_check",
+    "check_names",
+    "check_table",
+]
+
+
+class Check(abc.ABC):
+    """Interface every registered lint check implements."""
+
+    #: Registry name; filled in by :func:`register_check`.
+    name: str = ""
+    #: Human-readable one-liner for ``--list-checks``.
+    description: str = ""
+
+    @abc.abstractmethod
+    def run(self, project: Project) -> Iterator[Finding]:
+        """Yield findings over the whole project."""
+
+
+_REGISTRY: Dict[str, Type[Check]] = {}
+_PRIMARY_NAMES: List[str] = []
+
+
+def _normalise(name: str) -> str:
+    return name.strip().lower()
+
+
+def register_check(
+    name: str,
+    aliases: Tuple[str, ...] = (),
+    replace: bool = False,
+) -> Callable[[Type[Check]], Type[Check]]:
+    """Class decorator registering a :class:`Check` under ``name``."""
+
+    def decorator(cls: Type[Check]) -> Type[Check]:
+        if not issubclass(cls, Check):
+            raise TypeError(f"{cls.__name__} must subclass Check to be registered")
+        keys = [_normalise(name)] + [_normalise(alias) for alias in aliases]
+        for key in keys:
+            if not replace and key in _REGISTRY and _REGISTRY[key] is not cls:
+                raise ValueError(f"check name {key!r} is already registered")
+        cls.name = _normalise(name)
+        for key in keys:
+            _REGISTRY[key] = cls
+        if cls.name not in _PRIMARY_NAMES:
+            _PRIMARY_NAMES.append(cls.name)
+        return cls
+
+    return decorator
+
+
+def unregister_check(name: str) -> None:
+    """Remove a registration (primarily for tests); unknown names ignored."""
+    key = _normalise(name)
+    cls = _REGISTRY.pop(key, None)
+    if cls is not None and key in _PRIMARY_NAMES:
+        _PRIMARY_NAMES.remove(key)
+        for alias in [alias for alias, target in _REGISTRY.items() if target is cls]:
+            del _REGISTRY[alias]
+
+
+def get_check(name: str) -> Type[Check]:
+    """Resolve a registry name; raises ``ValueError`` with the known names."""
+    try:
+        return _REGISTRY[_normalise(name)]
+    except KeyError:
+        known = ", ".join(sorted(_PRIMARY_NAMES))
+        raise ValueError(f"unknown check {name!r}; registered checks: {known}") from None
+
+
+def check_names() -> List[str]:
+    """Primary names, in registration order."""
+    return list(_PRIMARY_NAMES)
+
+
+def check_table() -> List[Dict[str, str]]:
+    """``{check, description}`` rows for listings."""
+    return [
+        {"check": name, "description": _REGISTRY[name].description}
+        for name in _PRIMARY_NAMES
+    ]

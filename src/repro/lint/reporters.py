@@ -1,0 +1,76 @@
+"""Text and JSON reporters for lint results.
+
+The JSON document shape is stable (tooling consumes it)::
+
+    {
+      "version": 1,
+      "files_analyzed": <int>,
+      "checks_run": [<check id>, ...],
+      "findings": [<Finding.to_dict()>, ...],   # see repro.lint.finding
+      "summary": {
+        "new": <int>, "suppressed": <int>, "baselined": <int>,
+        "by_check": {<check id>: <new-finding count>, ...}
+      },
+      "syntax_errors": [<"file:line: msg">, ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from .analyzer import LintResult
+
+__all__ = ["REPORT_VERSION", "render_json", "render_text", "summary_line"]
+
+REPORT_VERSION = 1
+
+
+def summary_line(result: LintResult) -> str:
+    """One-line totals, with per-check counts for the new findings."""
+    new = result.new_findings
+    parts = [
+        f"{result.files_analyzed} files",
+        f"{len(result.checks_run)} checks",
+        f"{len(new)} new finding{'s' if len(new) != 1 else ''}",
+    ]
+    if result.baselined_findings:
+        parts.append(f"{len(result.baselined_findings)} baselined")
+    if result.suppressed_findings:
+        parts.append(f"{len(result.suppressed_findings)} suppressed")
+    line = ", ".join(parts)
+    by_check = result.counts_by_check()
+    if by_check:
+        detail = ", ".join(f"{name}={count}" for name, count in sorted(by_check.items()))
+        line += f" ({detail})"
+    return line
+
+
+def render_text(result: LintResult, stream: IO[str], show_quiet: bool = False) -> None:
+    """Human-readable report: one finding per line plus the summary line."""
+    for error in result.syntax_errors:
+        stream.write(f"{error} [syntax-error]\n")
+    for finding in result.findings:
+        if finding.active or show_quiet:
+            stream.write(finding.render() + "\n")
+    stream.write(summary_line(result) + "\n")
+
+
+def render_json(result: LintResult, stream: IO[str]) -> None:
+    """Machine-readable report (schema documented in the module docstring)."""
+    document = {
+        "version": REPORT_VERSION,
+        "files_analyzed": result.files_analyzed,
+        "checks_run": list(result.checks_run),
+        "findings": [finding.to_dict() for finding in result.findings],
+        "summary": {
+            "new": len(result.new_findings),
+            "suppressed": len(result.suppressed_findings),
+            "baselined": len(result.baselined_findings),
+            "by_check": result.counts_by_check(),
+        },
+        "syntax_errors": list(result.syntax_errors),
+    }
+    json.dump(document, stream, indent=2)
+    stream.write("\n")

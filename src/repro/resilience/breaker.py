@@ -115,13 +115,13 @@ class CircuitBreaker:
             failures = self._consecutive_failures
             if self._state == STATE_HALF_OPEN:
                 # The probe failed: back to a full cooldown window.
-                self._trip()
+                self._trip_locked()
                 tripped = True
             elif (
                 self._state == STATE_CLOSED
                 and self._consecutive_failures >= self.failure_threshold
             ):
-                self._trip()
+                self._trip_locked()
                 tripped = True
         if tripped:
             log_event(
@@ -131,7 +131,7 @@ class CircuitBreaker:
                 cooldown_seconds=self.cooldown_seconds,
             )
 
-    def _trip(self) -> None:
+    def _trip_locked(self) -> None:
         self._state = STATE_OPEN
         self._opened_at = self._clock()
         self._opened_total += 1

@@ -755,8 +755,10 @@ class KPlexService:
         requests are cancelled (their futures raise ``CancelledError``) and
         only the currently running ones are awaited.  Idempotent.
         """
-        self._closed = True
         with self._pool_lock:
+            # Under the pool lock so _ensure_pool's closed-check and pool
+            # creation can never interleave with shutdown.
+            self._closed = True
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=not drain)

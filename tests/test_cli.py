@@ -112,6 +112,33 @@ def test_query_command(graph_file, capsys):
     assert "size=" in captured.out
 
 
+def test_query_unknown_label_is_clean_error(graph_file, capsys):
+    """An unknown vertex label exits 1 with a message, not a traceback.
+
+    Regression: the int-fallback in ``_parse_query_labels`` used to let a
+    raw ``ValueError`` escape ``main`` for non-numeric unknown labels.
+    """
+    exit_code = main(["query", str(graph_file), "nope", "-k", "2", "-q", "5"])
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    assert "error:" in captured.err
+    assert "nope" in captured.err
+
+
+def test_query_numeric_string_label_falls_back_to_int(graph_file, capsys):
+    exit_code = main(["query", str(graph_file), "0", "-k", "1", "-q", "6"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "containing" in captured.out
+
+
+def test_lint_subcommand_runs_clean_against_baseline(capsys):
+    exit_code = main(["lint", "src", "tests"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "0 new findings" in captured.out
+
+
 def test_solvers_listing(capsys):
     exit_code = main(["solvers"])
     captured = capsys.readouterr()

@@ -379,6 +379,51 @@ def test_manager_close_cancel_stops_jobs():
         manager.close(policy="bogus")
 
 
+def test_manager_close_flag_is_guarded_by_pool_lock():
+    """Regression: ``close()`` used to set ``_closed`` without a lock.
+
+    ``_ensure_pool`` checks the flag under ``_pool_lock`` before creating
+    a worker pool; the write must take the same lock so the closed-check
+    and pool creation can never interleave with shutdown.  Closing from
+    many threads while submitters race must end with every submission
+    either completed or rejected, and no pool left behind.
+    """
+    import threading
+
+    manager = make_manager(max_concurrent=2, max_queue_depth=8)
+    outcomes = []
+    outcomes_lock = threading.Lock()
+    start = threading.Barrier(4)
+
+    def submitter():
+        start.wait()
+        try:
+            job = manager.submit("toy", k=2, q=3)
+            with outcomes_lock:
+                outcomes.append(("submitted", job))
+        except ServiceClosedError:
+            with outcomes_lock:
+                outcomes.append(("rejected", None))
+
+    def closer():
+        start.wait()
+        manager.close(policy="wait")
+
+    threads = [threading.Thread(target=submitter) for _ in range(3)]
+    threads.append(threading.Thread(target=closer))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert manager.closed
+    assert manager._pool is None
+    assert len(outcomes) == 3
+    for kind, job in outcomes:
+        if kind == "submitted":
+            manager.wait(job.id, timeout=30)
+            assert job.terminal
+
+
 def test_manager_results_identical_to_sync_service_run():
     manager = make_manager()
     try:
